@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper, times it with
+pytest-benchmark, saves the formatted table under ``results/`` and
+prints it (run pytest with ``-s`` to see the tables inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+
+
+def run_and_report(benchmark, runner, *args, **kwargs) -> ExperimentResult:
+    """Execute one experiment driver under the benchmark clock.
+
+    Uses a single measured round: the drivers are deterministic
+    simulations, so repeated timing adds nothing but wall-clock.
+    """
+    result = benchmark.pedantic(
+        runner, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    path = result.save()
+    print()
+    print(result.format())
+    print(f"[saved to {path}]")
+    return result

@@ -1,0 +1,13 @@
+"""Ablation: BPG idle-timeout sweep."""
+
+from conftest import run_and_report
+
+from repro.experiments import ablations
+
+
+def test_ablation_bpg_timeout(benchmark):
+    result = run_and_report(benchmark, ablations.run_bpg_timeout)
+    for row in result.rows:
+        series = row[1:]
+        # Very long timeouts keep banks powered: efficiency declines.
+        assert series[0] >= series[-1]

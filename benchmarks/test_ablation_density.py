@@ -1,0 +1,13 @@
+"""Ablation: chip-density sweep (4/8/16 Gb)."""
+
+from conftest import run_and_report
+
+from repro.experiments import ablations
+
+
+def test_ablation_density(benchmark):
+    result = run_and_report(benchmark, ablations.run_density)
+    for row in result.rows:
+        series = row[1:]
+        # Efficiency declines gently with density but stays within 15%.
+        assert series[0] >= series[-1] > 0.8 * series[0]

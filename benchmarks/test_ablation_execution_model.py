@@ -1,0 +1,13 @@
+"""Ablation: edge-centric vs vertex-centric execution (Section 2.1)."""
+
+from conftest import run_and_report
+
+from repro.experiments import ablations
+
+
+def test_ablation_execution_model(benchmark):
+    result = run_and_report(benchmark, ablations.run_execution_model)
+    pr_rows = [row for row in result.rows if row[0] == "PR"]
+    # For full-sweep algorithms vertex-centric only adds random-access
+    # cost to the edge memory — the case HyVE's sequential stream wins.
+    assert all(row[3] > 1.0 for row in pr_rows)

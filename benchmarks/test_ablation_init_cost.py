@@ -1,0 +1,11 @@
+"""Ablation: one-shot initialisation write vs execution (Section 3.1)."""
+
+from conftest import run_and_report
+
+from repro.experiments import ablations
+
+
+def test_ablation_init_cost(benchmark):
+    result = run_and_report(benchmark, ablations.run_init_cost)
+    # "Not an obvious delay": the one-shot write stays well below one run.
+    assert all(row[3] < 0.2 for row in result.rows)

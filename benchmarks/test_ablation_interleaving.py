@@ -1,0 +1,11 @@
+"""Ablation: sub-bank vs bank interleaving of the edge memory."""
+
+from conftest import run_and_report
+
+from repro.experiments import ablations
+
+
+def test_ablation_interleaving(benchmark):
+    result = run_and_report(benchmark, ablations.run_interleaving)
+    # Sub-bank interleaving (gateable) beats bank interleaving everywhere.
+    assert all(row[3] > 1.0 for row in result.rows)

@@ -1,0 +1,14 @@
+"""Ablation: hash-based vs natural vertex placement (Section 4.3)."""
+
+from conftest import run_and_report
+
+from repro.experiments import ablations
+
+
+def test_ablation_placement(benchmark):
+    result = run_and_report(benchmark, ablations.run_placement)
+    for row in result.rows:
+        hash_imb, natural_imb = row[1], row[2]
+        hash_eff, natural_eff = row[3], row[4]
+        assert hash_imb < natural_imb       # balancing works
+        assert hash_eff >= natural_eff      # and it pays off

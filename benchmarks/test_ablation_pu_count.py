@@ -1,0 +1,13 @@
+"""Ablation: processing-unit count sweep (super-block size)."""
+
+from conftest import run_and_report
+
+from repro.experiments import ablations
+
+
+def test_ablation_pu_count(benchmark):
+    result = run_and_report(benchmark, ablations.run_pu_count)
+    for row in result.rows:
+        series = row[1:]
+        # More sharing PUs beat a single PU on every dataset.
+        assert max(series) > series[0]

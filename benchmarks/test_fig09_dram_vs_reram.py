@@ -1,0 +1,12 @@
+"""Fig. 9: normalized DRAM/ReRAM delay, energy and EDP per access mix."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig09
+from repro.model.edge_storage import read_pattern_conclusions
+
+
+def test_fig09_dram_vs_reram(benchmark):
+    run_and_report(benchmark, fig09.run)
+    conclusions = read_pattern_conclusions()
+    assert all(conclusions.values()), conclusions

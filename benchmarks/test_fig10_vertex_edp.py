@@ -1,0 +1,12 @@
+"""Fig. 10: DRAM/ReRAM EDP as global vertex memory, HyVE vs GraphR."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig10
+
+
+def test_fig10_vertex_edp(benchmark):
+    result = run_and_report(benchmark, fig10.run)
+    graphr = [r for r in result.rows if r[0] == "GraphR"]
+    # GraphR's read-dominated traffic always prefers ReRAM.
+    assert all(row[3] > 1.0 for row in graphr)

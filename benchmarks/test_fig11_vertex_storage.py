@@ -1,0 +1,13 @@
+"""Fig. 11: GraphR/HyVE whole-vertex-storage comparison."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig11
+
+
+def test_fig11_vertex_storage(benchmark):
+    result = run_and_report(benchmark, fig11.run)
+    # GraphR reads several times more vertices than HyVE.
+    assert all(row[1] > 2.0 for row in result.rows)
+    # With DRAM global memory, HyVE wins energy and EDP everywhere.
+    assert all(row[4] > 1.0 and row[5] > 1.0 for row in result.rows)

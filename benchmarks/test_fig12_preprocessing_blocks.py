@@ -1,0 +1,14 @@
+"""Fig. 12: normalized preprocessing speed vs number of blocks."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig12
+
+
+def test_fig12_preprocessing_blocks(benchmark):
+    result = run_and_report(benchmark, fig12.run)
+    for row in result.rows:
+        speeds = row[2:]
+        # Flat through 32x32 blocks, dramatic drop past 64x64.
+        assert speeds[4] > 0.85   # 32x32
+        assert speeds[-1] < 0.4   # 256x256

@@ -1,0 +1,13 @@
+"""Fig. 13: energy efficiency with 1/2/3-bit ReRAM cells."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig13
+
+
+def test_fig13_cell_bits(benchmark):
+    result = run_and_report(benchmark, fig13.run)
+    for row in result.rows:
+        slc, mlc2, mlc3 = row[1], row[2], row[3]
+        # SLC outperforms MLC (parallel-sensing energy overhead).
+        assert slc > mlc2 > mlc3

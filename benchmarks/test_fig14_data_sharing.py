@@ -1,0 +1,13 @@
+"""Fig. 14: energy-efficiency improvement from data sharing."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig14
+
+
+def test_fig14_data_sharing(benchmark):
+    result = run_and_report(benchmark, fig14.run)
+    means = {row[0]: row[6] for row in result.rows}
+    assert all(v > 1.0 for v in means.values())
+    # PR benefits most (widest vertex record), as in the paper.
+    assert means["PR"] == max(means.values())

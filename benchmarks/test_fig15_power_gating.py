@@ -1,0 +1,14 @@
+"""Fig. 15: energy-efficiency improvement from bank-level power gating."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig15
+from repro.experiments.common import geomean
+
+
+def test_fig15_power_gating(benchmark):
+    result = run_and_report(benchmark, fig15.run)
+    ratios = [r for row in result.rows for r in row[1:6]]
+    overall = geomean(ratios)
+    # Paper: 1.53x on average.
+    assert 1.2 < overall < 2.0

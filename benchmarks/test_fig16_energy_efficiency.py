@@ -1,0 +1,17 @@
+"""Fig. 16: energy efficiency across every machine configuration."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig16
+
+
+def test_fig16_energy_efficiency(benchmark):
+    result = run_and_report(benchmark, fig16.run)
+    ratios = fig16.opt_ratios(result)
+    print("acc+HyVE-opt improvement over each baseline "
+          "(paper: SD 2.00x, ReRAM 4.54x, DRAM 5.90x, CPU 145.71x):")
+    for name, value in ratios.items():
+        print(f"  vs {name:14s}: {value:7.2f}x")
+    assert ratios["acc+SRAM+DRAM"] > 1.5
+    assert ratios["acc+DRAM"] > 4.0
+    assert ratios["CPU+DRAM"] > 80.0

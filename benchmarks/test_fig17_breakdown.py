@@ -1,0 +1,15 @@
+"""Fig. 17: energy-consumption breakdown."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig17
+
+
+def test_fig17_breakdown(benchmark):
+    result = run_and_report(benchmark, fig17.run)
+    reductions = fig17.memory_reduction()
+    print(
+        "memory-energy reduction vs SD (paper: HyVE 57.57%, opt 86.17%): "
+        f"HyVE {reductions['HyVE']:.1f}%, opt {reductions['opt']:.1f}%"
+    )
+    assert reductions["opt"] > reductions["HyVE"] > 20.0

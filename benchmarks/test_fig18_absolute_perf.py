@@ -1,0 +1,11 @@
+"""Fig. 18: execution time SD/HyVE (HyVE's small performance cost)."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig18
+
+
+def test_fig18_absolute_perf(benchmark):
+    result = run_and_report(benchmark, fig18.run)
+    for row in result.rows:
+        assert all(0.7 < r <= 1.0 for r in row[1:6])

@@ -1,0 +1,13 @@
+"""Fig. 19: preprocessing time GraphR/HyVE."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig19
+
+
+def test_fig19_preprocessing(benchmark):
+    result = run_and_report(benchmark, fig19.run)
+    values = result.column("GraphR/HyVE")
+    mean = sum(values) / len(values)
+    # Paper: 6.73x average.
+    assert 4.0 < mean < 10.0

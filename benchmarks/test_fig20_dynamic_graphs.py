@@ -1,0 +1,13 @@
+"""Fig. 20: dynamic update throughput, HyVE vs GraphR."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig20
+
+
+def test_fig20_dynamic_graphs(benchmark):
+    result = run_and_report(benchmark, fig20.run)
+    for row in result.rows:
+        measured_ratio, modeled_ratio = row[3], row[4]
+        assert measured_ratio > 1.0     # HyVE faster even in Python
+        assert 7.0 < modeled_ratio < 10.0  # paper: 8.04x

@@ -1,0 +1,18 @@
+"""Fig. 21: overall GraphR vs HyVE (delay, energy, EDP)."""
+
+from conftest import run_and_report
+
+from repro.experiments import fig21
+
+
+def test_fig21_vs_graphr(benchmark):
+    result = run_and_report(benchmark, fig21.run)
+    averages = fig21.averages(result)
+    print(
+        "GraphR/HyVE geomeans (paper: delay 5.12x, energy 2.83x, "
+        f"EDP 17.63x): delay {averages['delay']:.2f}x, "
+        f"energy {averages['energy']:.2f}x, EDP {averages['edp']:.2f}x"
+    )
+    assert averages["delay"] > 2.5
+    assert averages["energy"] > 1.5
+    assert averages["edp"] > 7.0

@@ -1,0 +1,10 @@
+"""The paper's headline claims, side by side with this reproduction."""
+
+from conftest import run_and_report
+
+from repro.experiments import headline
+
+
+def test_headline(benchmark):
+    result = run_and_report(benchmark, headline.run)
+    assert len(result.rows) == 14

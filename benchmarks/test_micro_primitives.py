@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the library's core primitives.
+
+Unlike the per-figure drivers (timed once), these use pytest-benchmark's
+statistical timing to track the performance of the hot paths a
+downstream user exercises: partitioning, algorithm sweeps, schedule
+folding and dynamic updates.
+"""
+
+import pytest
+
+from repro.algorithms import PageRank, run_vectorized
+from repro.arch.config import Workload
+from repro.arch.machine import AcceleratorMachine
+from repro.dynamic import DynamicGraphStore, apply_requests, generate_requests
+from repro.graph import IntervalBlockPartition, load, rmat
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(20_000, 200_000, seed=91, name="micro")
+
+
+def test_partition_build(benchmark, graph):
+    partition = benchmark(IntervalBlockPartition.build, graph, 32)
+    assert partition.block_counts.sum() == graph.num_edges
+
+
+def test_pagerank_sweep(benchmark, graph):
+    run = benchmark(run_vectorized, PageRank(iterations=3), graph)
+    assert run.iterations == 3
+
+
+def test_machine_fold(benchmark):
+    # Folding counts into a report (the per-configuration cost of a
+    # design-space sweep); the algorithm run itself is cached.
+    workload = Workload.from_dataset("LJ")
+    machine = AcceleratorMachine()
+    machine.run(PageRank(), workload)  # warm the run cache
+
+    def fold():
+        return machine.run(PageRank(), workload).report
+
+    report = benchmark(fold)
+    assert report.total_energy > 0
+
+
+def test_dynamic_updates(benchmark, graph):
+    requests = generate_requests(graph, 5_000, seed=0)
+
+    def replay():
+        store = DynamicGraphStore(graph, num_intervals=32)
+        return apply_requests(store, requests)
+
+    changed = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert changed > 0
+
+
+def test_rmat_generation(benchmark):
+    g = benchmark(rmat, 10_000, 80_000, 0.6, 0.13, 0.13, 7)
+    assert g.num_edges == 80_000

@@ -1,0 +1,12 @@
+"""Sensitivity of the headline ratio to the calibrated constants."""
+
+from conftest import run_and_report
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark):
+    result = run_and_report(benchmark, sensitivity.run)
+    for row in result.rows:
+        # The conclusion survives every +/-30% perturbation.
+        assert all(ratio > 1.5 for ratio in row[1:])

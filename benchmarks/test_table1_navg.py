@@ -1,0 +1,11 @@
+"""Table 1: average edges per non-empty 8x8 block."""
+
+from conftest import run_and_report
+
+from repro.experiments import table1
+
+
+def test_table1_navg(benchmark):
+    result = run_and_report(benchmark, table1.run)
+    for _, measured, paper in result.rows:
+        assert abs(measured - paper) / paper < 0.05

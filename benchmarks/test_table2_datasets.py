@@ -1,0 +1,10 @@
+"""Table 2: dataset inventory (paper sizes vs synthetic stand-ins)."""
+
+from conftest import run_and_report
+
+from repro.experiments import table2
+
+
+def test_table2_datasets(benchmark):
+    result = run_and_report(benchmark, table2.run)
+    assert len(result.rows) == 5

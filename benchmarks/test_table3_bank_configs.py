@@ -1,0 +1,11 @@
+"""Table 3: ReRAM bank power under different configurations."""
+
+from conftest import run_and_report
+
+from repro.experiments import table3
+
+
+def test_table3_bank_configs(benchmark):
+    result = run_and_report(benchmark, table3.run)
+    powers = result.column("Power/bit (mW/bit)")
+    assert min(powers) == powers[3]  # energy-optimised 512-bit

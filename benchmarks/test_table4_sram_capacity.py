@@ -1,0 +1,13 @@
+"""Table 4: energy efficiency across SRAM sizes x sharing x gating."""
+
+from conftest import run_and_report
+
+from repro.experiments import table4
+
+
+def test_table4_sram_capacity(benchmark):
+    result = run_and_report(benchmark, table4.run)
+    spots = table4.sweet_spots(result)
+    # Section 7.2.3's sweet spots: 4 MB without sharing, 2 MB with.
+    assert spots["w/o PG, w/o sharing"] == 4
+    assert spots["w/ PG, w/ sharing"] == 2

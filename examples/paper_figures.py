@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs all experiment drivers (Tables 1-4, Figs. 9-21, plus the ablation
+studies) and writes the formatted tables under ``results/``.  This is
+the one-command reproduction entry point; EXPERIMENTS.md records how
+each output compares with the published numbers.
+
+Run:  python examples/paper_figures.py            # everything
+      python examples/paper_figures.py fig16 fig21  # a selection
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, RESULTS_DIR
+
+
+def main(selection: list[str]) -> None:
+    names = selection or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        known = ", ".join(ALL_EXPERIMENTS)
+        raise SystemExit(f"unknown experiment(s) {unknown}; known: {known}")
+
+    for name in names:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        path = result.save()
+        elapsed = time.perf_counter() - start
+        print(f"[{elapsed:6.1f}s] {name}: {len(result.rows)} rows "
+              f"-> {path}")
+        print(result.format())
+        print()
+
+    print(f"all tables written under {RESULTS_DIR}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,103 @@
+"""HyVE: Hybrid Vertex-Edge memory hierarchy for energy-efficient graph
+processing — a full reproduction of the DATE'18 / IEEE TC'19 paper.
+
+The library is organised bottom-up:
+
+* :mod:`repro.graph` — graph containers, R-MAT generators, interval-block
+  partitioning, hash placement, shape statistics.
+* :mod:`repro.memory` — calibrated device models (ReRAM via NVSim-lite,
+  DDR4, SRAM, register files) and bank-level power gating.
+* :mod:`repro.algorithms` — edge-centric PR/BFS/CC/SSSP/SpMV and the
+  executor that yields traces.
+* :mod:`repro.arch` — the HyVE machine, accelerator baselines, CPU
+  baselines and the GraphR machine.
+* :mod:`repro.model` — the Section 6 analytic model.
+* :mod:`repro.dynamic` — evolving-graph support (Section 5).
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import Graph, HyVEConfig, AcceleratorMachine, PageRank
+
+    graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    machine = AcceleratorMachine(HyVEConfig())
+    result = machine.run(PageRank(), graph)
+    print(result.report.summary())
+"""
+
+from . import algorithms, arch, core, dynamic, experiments, graph, memory, model
+from .algorithms import (
+    BFS,
+    ConnectedComponents,
+    EdgeCentricAlgorithm,
+    PageRank,
+    SSSP,
+    SpMV,
+    make_algorithm,
+    run_blocked,
+    run_vectorized,
+)
+from .arch import (
+    AcceleratorMachine,
+    CPUMachine,
+    EnergyReport,
+    GraphRMachine,
+    HyVEConfig,
+    SimulationResult,
+    Workload,
+    make_machine,
+)
+from .dynamic import DynamicGraphStore
+from .errors import (
+    ConfigError,
+    ConvergenceError,
+    DynamicGraphError,
+    GraphError,
+    MemoryModelError,
+    PartitionError,
+    ReproError,
+)
+from .graph import Graph, IntervalBlockPartition, load, load_all, rmat
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "arch",
+    "core",
+    "dynamic",
+    "experiments",
+    "graph",
+    "memory",
+    "model",
+    "BFS",
+    "ConnectedComponents",
+    "EdgeCentricAlgorithm",
+    "PageRank",
+    "SSSP",
+    "SpMV",
+    "make_algorithm",
+    "run_blocked",
+    "run_vectorized",
+    "AcceleratorMachine",
+    "CPUMachine",
+    "EnergyReport",
+    "GraphRMachine",
+    "HyVEConfig",
+    "SimulationResult",
+    "Workload",
+    "make_machine",
+    "DynamicGraphStore",
+    "ConfigError",
+    "ConvergenceError",
+    "DynamicGraphError",
+    "GraphError",
+    "MemoryModelError",
+    "PartitionError",
+    "ReproError",
+    "Graph",
+    "IntervalBlockPartition",
+    "load",
+    "load_all",
+    "rmat",
+]

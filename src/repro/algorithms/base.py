@@ -1,0 +1,142 @@
+"""Edge-centric algorithm interface (the GAS model of Section 2.1).
+
+Every algorithm is expressed in the edge-centric form of Algorithm 1:
+iterate over edges; for each edge, update the destination vertex from
+the source vertex's *previous-iteration* value (synchronous/Jacobi
+semantics, which makes the result independent of block processing order
+— the property HyVE's data-sharing scheme relies on: "vertex data in
+the source interval will not be modified during processing").
+
+An algorithm defines:
+
+* how vertex state is initialised,
+* the per-edge update (vectorised over an arbitrary batch of edges),
+* the end-of-iteration reduction (damping, convergence test),
+* metadata the cost model needs: the serialised width of one vertex
+  value and whether edges carry weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Outcome of one edge-centric iteration."""
+
+    values: np.ndarray
+    converged: bool
+    active_vertices: int
+
+
+class EdgeCentricAlgorithm:
+    """Base class for edge-centric graph algorithms."""
+
+    #: Short name used in reports ("PR", "BFS"...).
+    name: str = "base"
+
+    #: Serialised width of one vertex value in bits.  PageRank carries a
+    #: wider vertex record (rank + out-degree) than BFS/CC/SSSP, which is
+    #: why data sharing helps PR most (Section 7.3.1).
+    vertex_bits: int = 32
+
+    #: Whether the edge stream carries a 32-bit weight per edge.
+    needs_weights: bool = False
+
+    #: Safety cap on iterations for convergence-driven algorithms.
+    max_iterations: int = 10_000
+
+    # --- hooks -------------------------------------------------------------
+
+    def transform_graph(self, graph: Graph) -> Graph:
+        """Graph actually streamed by the machine.
+
+        Most algorithms stream the graph as-is; connected components
+        symmetrises it (an edge-centric system stores both directions of
+        each undirected edge, as X-Stream does).
+        """
+        return graph
+
+    def initial_values(self, graph: Graph) -> np.ndarray:
+        """Per-vertex state before the first iteration."""
+        raise NotImplementedError
+
+    def initial_active(self, graph: Graph) -> int:
+        """Vertices whose initial value can propagate along an edge.
+
+        The scheduler loads a source interval only if it holds at least
+        one vertex whose value changed (active-interval scheduling);
+        point-initialised algorithms (BFS, SSSP) start with a single
+        active vertex, everything else with all of them.
+        """
+        return graph.num_vertices
+
+    def iteration_start(self, prev: np.ndarray, graph: Graph) -> np.ndarray:
+        """State a fresh iteration accumulates into.
+
+        Defaults to a copy of the previous values (min-style algorithms);
+        accumulating algorithms (PageRank, SpMV) reset to zero.
+        """
+        return prev.copy()
+
+    def process_edges(
+        self,
+        prev: np.ndarray,
+        acc: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None,
+        graph: Graph,
+    ) -> None:
+        """Apply a batch of edges: update ``acc[dst]`` from ``prev[src]``.
+
+        Must be order-independent and idempotent across batch splits so
+        block-ordered execution matches whole-graph execution exactly.
+        """
+        raise NotImplementedError
+
+    def iteration_end(
+        self, prev: np.ndarray, acc: np.ndarray, graph: Graph, iteration: int
+    ) -> IterationResult:
+        """Finish an iteration: apply() phase plus the convergence test."""
+        raise NotImplementedError
+
+    # --- helpers -------------------------------------------------------------
+
+    def check_iteration_budget(self, iteration: int) -> None:
+        if iteration >= self.max_iterations:
+            raise ConvergenceError(
+                f"{self.name} did not converge within "
+                f"{self.max_iterations} iterations"
+            )
+
+    @property
+    def edge_bits(self) -> int:
+        """Serialised width of one edge in the stream."""
+        return 96 if self.needs_weights else 64
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def scatter_add(acc: np.ndarray, dst: np.ndarray, contrib: np.ndarray) -> None:
+    """acc[dst] += contrib, with duplicate destinations accumulated.
+
+    Uses bincount (much faster than ``np.add.at`` for large batches).
+    """
+    if dst.size == 0:
+        return
+    acc += np.bincount(dst, weights=contrib, minlength=acc.size)
+
+
+def scatter_min(acc: np.ndarray, dst: np.ndarray, candidate: np.ndarray) -> None:
+    """acc[dst] = min(acc[dst], candidate), duplicates resolved to the min."""
+    if dst.size == 0:
+        return
+    np.minimum.at(acc, dst, candidate)

@@ -1,0 +1,203 @@
+"""Edge-centric executor: actually runs algorithms and yields the trace.
+
+Two execution strategies produce bit-identical results (a property the
+tests verify):
+
+* :func:`run_vectorized` — one whole-graph pass per iteration; fastest,
+  used to obtain results and iteration counts.
+* :func:`run_blocked` — walks blocks in the exact super-block order of
+  Algorithm 2 (including round-robin data sharing across PUs); used to
+  validate that the schedule computes the same answer and to honour the
+  synchronous semantics the architecture relies on.
+
+The *trace* the architecture model consumes is deliberately small: the
+iteration count and per-iteration edge activity — every other access
+count follows analytically from the schedule (Equations (3), (4), (7),
+(8)) and is derived in :mod:`repro.arch.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..graph.graph import Graph
+from ..graph.partition import IntervalBlockPartition
+from .base import EdgeCentricAlgorithm
+
+
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """Result of executing an algorithm to convergence.
+
+    Attributes:
+        algorithm: name of the algorithm.
+        graph_name: name of the *streamed* graph (post transform).
+        values: final per-vertex values.
+        iterations: number of full edge sweeps executed.
+        num_vertices: vertices of the streamed graph.
+        edges_per_iteration: edges streamed per sweep (all of them; the
+            paper applies no frontier optimisation).
+        vertex_bits: serialised vertex width (from the algorithm).
+        edge_bits: serialised edge width (64, or 96 with weights).
+    """
+
+    algorithm: str
+    graph_name: str
+    values: np.ndarray
+    iterations: int
+    num_vertices: int
+    edges_per_iteration: int
+    vertex_bits: int
+    edge_bits: int
+    #: Vertices whose value changed *entering* each iteration (the
+    #: sources the scheduler must have on-chip); length == iterations.
+    active_sources: tuple[int, ...] = ()
+
+    @property
+    def total_edges(self) -> int:
+        """Total edges traversed across all iterations."""
+        return self.iterations * self.edges_per_iteration
+
+
+def run_vectorized(
+    algorithm: EdgeCentricAlgorithm, graph: Graph
+) -> AlgorithmRun:
+    """Execute with one whole-graph edge pass per iteration."""
+    streamed = algorithm.transform_graph(graph)
+    values = algorithm.initial_values(streamed)
+    active = algorithm.initial_active(streamed)
+    active_sources: list[int] = []
+    iterations = 0
+    while True:
+        active_sources.append(active)
+        acc = algorithm.iteration_start(values, streamed)
+        algorithm.process_edges(
+            values, acc, streamed.src, streamed.dst, streamed.weights, streamed
+        )
+        result = algorithm.iteration_end(values, acc, streamed, iterations)
+        values = result.values
+        active = result.active_vertices
+        iterations += 1
+        if result.converged:
+            break
+        if iterations > algorithm.max_iterations:
+            raise ConvergenceError(
+                f"{algorithm.name} exceeded {algorithm.max_iterations} sweeps"
+            )
+    return AlgorithmRun(
+        algorithm=algorithm.name,
+        graph_name=streamed.name,
+        values=values,
+        iterations=iterations,
+        num_vertices=streamed.num_vertices,
+        edges_per_iteration=streamed.num_edges,
+        vertex_bits=algorithm.vertex_bits,
+        edge_bits=algorithm.edge_bits,
+        active_sources=tuple(active_sources),
+    )
+
+
+def run_blocked(
+    algorithm: EdgeCentricAlgorithm,
+    graph: Graph,
+    num_intervals: int,
+    num_pus: int = 1,
+) -> AlgorithmRun:
+    """Execute in the exact block order of Algorithm 2.
+
+    Super blocks are scanned column-major (``y`` outer, ``x`` inner, as
+    in Algorithm 2); within a super block the N PUs process blocks in
+    round-robin steps.  Because updates read previous-iteration source
+    values only, the result matches :func:`run_vectorized` exactly.
+    """
+    streamed = algorithm.transform_graph(graph)
+    partition = IntervalBlockPartition.build(streamed, num_intervals)
+    q = num_intervals // num_pus
+    partition.num_super_blocks(num_pus)  # validates divisibility
+
+    values = algorithm.initial_values(streamed)
+    active = algorithm.initial_active(streamed)
+    active_sources: list[int] = []
+    iterations = 0
+    while True:
+        active_sources.append(active)
+        acc = algorithm.iteration_start(values, streamed)
+        for y in range(q):
+            for x in range(q):
+                for step in range(num_pus):
+                    for pu in range(num_pus):
+                        i = x * num_pus + (pu + step) % num_pus
+                        j = y * num_pus + pu
+                        idx = partition.block_edge_indices(i, j)
+                        if idx.size == 0:
+                            continue
+                        w = (
+                            streamed.weights[idx]
+                            if streamed.weights is not None
+                            else None
+                        )
+                        algorithm.process_edges(
+                            values,
+                            acc,
+                            streamed.src[idx],
+                            streamed.dst[idx],
+                            w,
+                            streamed,
+                        )
+        result = algorithm.iteration_end(values, acc, streamed, iterations)
+        values = result.values
+        active = result.active_vertices
+        iterations += 1
+        if result.converged:
+            break
+        if iterations > algorithm.max_iterations:
+            raise ConvergenceError(
+                f"{algorithm.name} exceeded {algorithm.max_iterations} sweeps"
+            )
+    return AlgorithmRun(
+        algorithm=algorithm.name,
+        graph_name=streamed.name,
+        values=values,
+        iterations=iterations,
+        num_vertices=streamed.num_vertices,
+        edges_per_iteration=streamed.num_edges,
+        vertex_bits=algorithm.vertex_bits,
+        edge_bits=algorithm.edge_bits,
+        active_sources=tuple(active_sources),
+    )
+
+
+# --- run cache -------------------------------------------------------------
+
+_RUN_CACHE: dict[tuple[int, str, str], AlgorithmRun] = {}
+
+
+def run_cached(
+    algorithm: EdgeCentricAlgorithm, graph: Graph
+) -> AlgorithmRun:
+    """Vectorised run memoised on (graph identity, algorithm signature).
+
+    The benchmarks evaluate dozens of machine configurations against the
+    same (graph, algorithm) pairs; the algorithm result and iteration
+    count are configuration-independent, so they are computed once.
+    """
+    key = (id(graph), graph.name, _signature(algorithm))
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = run_vectorized(algorithm, graph)
+    return _RUN_CACHE[key]
+
+
+def clear_run_cache() -> None:
+    _RUN_CACHE.clear()
+
+
+def _signature(algorithm: EdgeCentricAlgorithm) -> str:
+    parts = [algorithm.name]
+    for attr in ("damping", "iterations", "tolerance", "root", "source",
+                 "symmetrize"):
+        if hasattr(algorithm, attr):
+            parts.append(f"{attr}={getattr(algorithm, attr)}")
+    return ",".join(parts)

@@ -1,0 +1,51 @@
+"""Sparse matrix-vector multiplication as a one-iteration edge workload.
+
+``y = A^T x`` where A is the adjacency matrix (entry (s, d) = weight of
+edge s->d) and x the per-vertex input vector: every edge contributes
+``x[src] * weight`` to ``y[dst]``.  This is the memory-bound streaming
+kernel GraphR's crossbars are nominally built for, hence its inclusion
+in the Fig. 21 comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .base import EdgeCentricAlgorithm, IterationResult, scatter_add
+
+
+class SpMV(EdgeCentricAlgorithm):
+    """One pass of y[dst] += x[src] * w over all edges."""
+
+    name = "SpMV"
+    vertex_bits = 32
+    needs_weights = True
+
+    def __init__(self, x: np.ndarray | None = None) -> None:
+        self._x = None if x is None else np.asarray(x, dtype=np.float64)
+
+    def transform_graph(self, graph: Graph) -> Graph:
+        return graph if graph.is_weighted else graph.with_unit_weights()
+
+    def initial_values(self, graph: Graph) -> np.ndarray:
+        if self._x is not None:
+            if self._x.shape != (graph.num_vertices,):
+                raise ValueError(
+                    f"input vector has shape {self._x.shape}, expected "
+                    f"({graph.num_vertices},)"
+                )
+            return self._x.copy()
+        return np.ones(graph.num_vertices)
+
+    def iteration_start(self, prev: np.ndarray, graph: Graph) -> np.ndarray:
+        return np.zeros_like(prev)
+
+    def process_edges(self, prev, acc, src, dst, weights, graph) -> None:
+        w = weights if weights is not None else 1.0
+        scatter_add(acc, dst, prev[src] * w)
+
+    def iteration_end(self, prev, acc, graph, iteration) -> IterationResult:
+        return IterationResult(
+            values=acc, converged=True, active_vertices=graph.num_vertices
+        )

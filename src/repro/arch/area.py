@@ -1,0 +1,125 @@
+"""Machine-level silicon-area report.
+
+Aggregates the per-memory area estimates (`repro.memory.area`) over a
+machine configuration and workload: the accelerator die (scratchpads,
+PUs, router) and the memory system (edge + vertex chips), including the
+bank power-gate overhead the paper argues is negligible (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..algorithms.base import EdgeCentricAlgorithm
+from ..algorithms.runner import run_cached
+from ..graph.graph import Graph
+from ..memory.area import AreaEstimate, memory_area
+from .config import HyVEConfig, MemoryTechnology, Workload
+from .machine import FOOTPRINT_SLACK, MIN_EDGE_CHIPS_PER_RANK
+
+#: Area of one CMOS processing unit at 22 nm (pipeline + float unit),
+#: and of the N-to-N router per port pair — small next to the SRAM.
+PU_AREA_MM2 = 0.15
+ROUTER_PORT_AREA_MM2 = 0.02
+
+
+@dataclass(frozen=True)
+class MachineArea:
+    """Area report for one (machine, workload) pair."""
+
+    onchip_sram: AreaEstimate
+    edge_memory: AreaEstimate
+    vertex_memory: AreaEstimate
+    pu_area_mm2: float
+    router_area_mm2: float
+    edge_chips: int
+    vertex_chips: int
+
+    @property
+    def accelerator_die_mm2(self) -> float:
+        """The accelerator chip: scratchpads + PUs + router."""
+        return (
+            self.onchip_sram.total_mm2
+            + self.pu_area_mm2
+            + self.router_area_mm2
+        )
+
+    @property
+    def memory_system_mm2(self) -> float:
+        return self.edge_memory.total_mm2 + self.vertex_memory.total_mm2
+
+    @property
+    def power_gate_overhead(self) -> float:
+        """Gate area as a fraction of the edge memory (Section 4.1)."""
+        total = self.edge_memory.total_m2
+        if total <= 0:
+            return 0.0
+        return self.edge_memory.power_gate_area_m2 / total
+
+
+def machine_area(
+    algorithm: EdgeCentricAlgorithm,
+    workload: Workload | Graph,
+    config: HyVEConfig | None = None,
+) -> MachineArea:
+    """Estimate silicon area for one configuration and workload."""
+    if isinstance(workload, Graph):
+        workload = Workload(workload)
+    config = config or HyVEConfig()
+    run = run_cached(algorithm, workload.graph)
+
+    edge_bits = (
+        run.edges_per_iteration * workload.edge_scale * run.edge_bits
+        * FOOTPRINT_SLACK
+    )
+    vertex_bits = (
+        run.num_vertices * workload.vertex_scale * run.vertex_bits
+        * FOOTPRINT_SLACK
+    )
+
+    edge_tech = config.edge_memory
+    vertex_tech = config.offchip_vertex
+    edge_density = (
+        config.reram.density_bits
+        if edge_tech == MemoryTechnology.RERAM
+        else config.dram.density_bits
+    )
+    vertex_density = (
+        config.reram.density_bits
+        if vertex_tech == MemoryTechnology.RERAM
+        else config.dram.density_bits
+    )
+    edge_chips = max(MIN_EDGE_CHIPS_PER_RANK,
+                     math.ceil(edge_bits / edge_density))
+    vertex_chips = max(1, math.ceil(vertex_bits / vertex_density))
+
+    gated_banks = (
+        edge_chips * config.reram.num_banks
+        if edge_tech == MemoryTechnology.RERAM
+        and config.power_gating.enabled
+        else 0
+    )
+    edge_area = memory_area(
+        edge_tech,
+        edge_chips * edge_density,
+        cell_bits=(
+            config.reram.cell.cell_bits
+            if edge_tech == MemoryTechnology.RERAM
+            else 1
+        ),
+        power_gated_banks=gated_banks,
+    )
+    vertex_area = memory_area(vertex_tech, vertex_chips * vertex_density)
+    sram_bits = config.sram_bits * config.num_pus if config.has_onchip else 0
+    sram_area = memory_area("sram", max(sram_bits, 1))
+
+    return MachineArea(
+        onchip_sram=sram_area,
+        edge_memory=edge_area,
+        vertex_memory=vertex_area,
+        pu_area_mm2=config.num_pus * PU_AREA_MM2,
+        router_area_mm2=config.num_pus * ROUTER_PORT_AREA_MM2,
+        edge_chips=edge_chips,
+        vertex_chips=vertex_chips,
+    )

@@ -1,0 +1,121 @@
+"""ReRAM crossbar processing-unit model (GraphR's compute fabric).
+
+GraphR maps each non-empty 8x8 block of the adjacency matrix onto a
+graph engine (GE): a group of four 8x8 crossbars with 4-bit cells that
+together hold 16-bit edge values.  Processing a block means *writing*
+the block's edges into the GE (configuring the adjacency matrix) and
+then performing the analog operation: one matrix-vector read for
+PR/SpMV, or eight row-by-row reads plus a CMOS output operation for
+traversal algorithms (Equations (10)-(16)).
+
+Device constants are GraphR's published numbers (Section 7.4.3): read
+29.31 ns / 1.08 pJ, write 50.88 ns / 3.91 nJ.  The write figure is the
+cost of configuring a GE for one block — the interpretation under which
+the paper's bottom line (2.83x energy vs HyVE) is self-consistent with
+its Table 4 absolute efficiencies; the per-edge write cost is therefore
+``E_cb / N_avg`` exactly as Equation (10) prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import NJ, NS, PJ
+from . import params
+
+#: GraphR's published ReRAM crossbar operation costs.
+CROSSBAR_READ_LATENCY = 29.31 * NS
+CROSSBAR_WRITE_LATENCY = 50.88 * NS
+CROSSBAR_READ_ENERGY = 1.08 * PJ
+CROSSBAR_WRITE_ENERGY = 3.91 * NJ   # configure one GE for one block
+
+#: Crossbars ganged in one GE for 16-bit values with 4-bit cells.
+CROSSBARS_PER_GROUP = 4
+
+#: Row-by-row selection for non-matrix-vector algorithms: the analog
+#: operation is performed 8 times (Equation (12)).
+NON_MV_ROW_FACTOR = 8
+
+#: Algorithms computed as analog matrix-vector products.
+MV_ALGORITHMS = frozenset({"PR", "SpMV"})
+
+#: Issue interval of pipelined row-by-row reads within one GE.
+ROW_PIPELINE_CYCLE = 2.0 * NS
+
+
+@dataclass(frozen=True)
+class CrossbarModel:
+    """Per-edge cost of processing on ReRAM crossbar graph engines.
+
+    Attributes:
+        navg: average edges per non-empty 8x8 block (Table 1) — the
+            effective parallelism inside a crossbar, and the number of
+            edges one GE configuration is amortised over.
+        num_groups: GEs operating in parallel across blocks.
+    """
+
+    navg: float
+    num_groups: int = 8
+
+    def __post_init__(self) -> None:
+        if self.navg <= 0:
+            raise ConfigError(f"N_avg must be positive, got {self.navg}")
+        if self.num_groups <= 0:
+            raise ConfigError("need at least one crossbar group")
+
+    @property
+    def occupied_row_fraction(self) -> float:
+        """Expected fraction of a block's 8 rows that hold any edge.
+
+        Only occupied rows must be programmed (empty rows stay in the
+        default high-resistance state); with N_avg edges thrown over 8
+        rows, the expectation is ``1 - (7/8) ** N_avg`` per row.
+        """
+        return 1.0 - (7.0 / 8.0) ** self.navg
+
+    def block_energy(self, algorithm: str) -> float:
+        """E_cb of Equation (14): configure + operate one block."""
+        reads = (
+            CROSSBARS_PER_GROUP * CROSSBAR_READ_ENERGY
+        )
+        if algorithm not in MV_ALGORITHMS:
+            reads *= NON_MV_ROW_FACTOR
+        return CROSSBAR_WRITE_ENERGY * self.occupied_row_fraction + reads
+
+    def energy_per_edge(self, algorithm: str) -> float:
+        """Equations (10)-(12): equivalent per-edge energy.
+
+        The block configuration is amortised over the N_avg edges the
+        block actually holds — only 1.2-2.4 on natural graphs (Table 1),
+        which is exactly why crossbar processing loses to CMOS.
+        """
+        energy = self.block_energy(algorithm) / self.navg
+        if algorithm not in MV_ALGORITHMS:
+            energy += params.PU_OP_ENERGY_NON_MV  # CMOS op at the port
+        return energy
+
+    def block_latency(self, algorithm: str) -> float:
+        """Time to configure and operate one block in one GE.
+
+        Row-by-row selection (non-MV algorithms) pipelines inside the
+        GE: after the first full-latency read, subsequent row reads
+        issue every array cycle.
+        """
+        reads = CROSSBAR_READ_LATENCY
+        if algorithm not in MV_ALGORITHMS:
+            reads += (NON_MV_ROW_FACTOR - 1) * ROW_PIPELINE_CYCLE
+        return (
+            CROSSBAR_WRITE_LATENCY * self.occupied_row_fraction * 8.0
+            / CROSSBARS_PER_GROUP
+            + reads
+        )
+
+    def latency_per_edge(self, algorithm: str) -> float:
+        """Equation (16), amortised over N_avg and parallel GEs."""
+        return self.block_latency(algorithm) / self.navg / self.num_groups
+
+    @property
+    def parallelism(self) -> float:
+        """Edges genuinely processed in parallel inside one crossbar."""
+        return self.navg

@@ -1,0 +1,166 @@
+"""GraphR machine model (the prior ReRAM graph accelerator, Section 6).
+
+GraphR [19] differs from HyVE on every level of the hierarchy:
+
+* **Compute**: ReRAM crossbars process edges; every edge is written into
+  a crossbar before the block's (single) analog operation — the heavy
+  overhead HyVE's analysis identifies.
+* **Local vertex storage**: register files, which force 8x8 blocks and
+  hence tiny partitions.
+* **Global storage**: ReRAM main memory; vertex loads follow Equation
+  (9): 16 vertices per non-empty block, so traffic scales with the
+  non-empty block count rather than with P/N like HyVE.
+
+The machine exposes the same ``run`` interface as
+:class:`~repro.arch.machine.AcceleratorMachine` so every figure driver
+treats it uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..algorithms.base import EdgeCentricAlgorithm
+from ..algorithms.runner import run_cached
+from ..graph.graph import Graph
+from ..graph.stats import average_edges_per_nonempty_block
+from ..memory.base import AccessKind, AccessPattern
+from ..memory.regfile import RegisterFile
+from ..memory.reram import ReRAMChip, ReRAMConfig
+from . import params, report as rpt
+from .config import Workload
+from .crossbar import CrossbarModel
+from .machine import FOOTPRINT_SLACK, SimulationResult
+from .report import EnergyReport
+
+
+@dataclass(frozen=True)
+class GraphRConfig:
+    """GraphR machine parameters."""
+
+    label: str = "GraphR"
+    num_crossbar_groups: int = 8
+    reram: ReRAMConfig = field(default_factory=ReRAMConfig)
+    #: Register-file capacity: 8 + 8 vertices of 32 bits per group.
+    regfile_bits: int = 16 * 32
+
+
+class GraphRMachine:
+    """Trace-driven model of GraphR built from Section 6's equations."""
+
+    def __init__(self, config: GraphRConfig | None = None) -> None:
+        self.config = config or GraphRConfig()
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    def run(
+        self,
+        algorithm: EdgeCentricAlgorithm,
+        workload: Workload | Graph,
+    ) -> SimulationResult:
+        if isinstance(workload, Graph):
+            workload = Workload(workload)
+        run = run_cached(algorithm, workload.graph)
+        streamed = algorithm.transform_graph(workload.graph)
+
+        edge_scale = workload.edge_scale
+        vertex_scale = workload.vertex_scale
+        edges_per_iter = run.edges_per_iteration * edge_scale
+        vertices = run.num_vertices * vertex_scale
+        iters = run.iterations
+        edges_total = edges_per_iter * iters
+
+        # Graph shape statistics at reported scale: N_avg is scale
+        # invariant (Table 1); the non-empty block count follows from it.
+        navg = average_edges_per_nonempty_block(streamed)
+        if navg <= 0:
+            navg = 1.0
+        nonempty_blocks = edges_per_iter / navg
+
+        crossbar = CrossbarModel(
+            navg=navg,
+            num_groups=self.config.num_crossbar_groups,
+        )
+        global_mem = ReRAMChip(self.config.reram)
+        regfile = RegisterFile(
+            self.config.regfile_bits * self.config.num_crossbar_groups
+        )
+
+        report = EnergyReport(
+            machine=self.config.label,
+            algorithm=run.algorithm,
+            graph=workload.name,
+            edges_traversed=edges_total,
+            iterations=iters,
+            time=0.0,
+        )
+
+        # --- edge storage: stream the edge list once per iteration ------
+        edge_stream_bits = edges_total * run.edge_bits
+        stream = global_mem.transfer_cost(
+            AccessKind.READ, edge_stream_bits, AccessPattern.SEQUENTIAL
+        )
+        report.add(rpt.EDGE_MEMORY, stream.energy)
+
+        # --- global vertex traffic (Equations (7) and (9)) ----------------
+        loads_per_iter = 16.0 * nonempty_blocks          # N^R_{v,s}
+        stores_per_iter = vertices                        # N^W_{v,s}
+        load_bits = loads_per_iter * run.vertex_bits * iters
+        store_bits = stores_per_iter * run.vertex_bits * iters
+        load = global_mem.transfer_cost(
+            AccessKind.READ, load_bits, AccessPattern.SEQUENTIAL
+        )
+        store = global_mem.transfer_cost(
+            AccessKind.WRITE, store_bits, AccessPattern.SEQUENTIAL
+        )
+        report.add(rpt.OFFCHIP_VERTEX, load.energy + store.energy)
+
+        # --- local vertex traffic: register files --------------------------
+        rf_read = regfile.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+        rf_write = regfile.access_cost(AccessKind.WRITE, AccessPattern.RANDOM)
+        words_per_vertex = run.vertex_bits / 32.0
+        rf_energy = (
+            2.0 * edges_total * words_per_vertex * rf_read.energy
+            + edges_total * words_per_vertex * rf_write.energy
+            + (load_bits + store_bits) / 32.0 * rf_write.energy
+        )
+        report.add(rpt.ONCHIP_VERTEX, rf_energy)
+
+        # --- crossbar processing (Equations (11), (12), (15)) --------------
+        report.add(
+            rpt.PROCESSING,
+            edges_total * crossbar.energy_per_edge(run.algorithm),
+        )
+        requests = (
+            edge_stream_bits / global_mem.access_bits
+            + (load_bits + store_bits) / global_mem.access_bits
+        )
+        report.add(rpt.CONTROLLER,
+                   requests * params.CONTROLLER_REQUEST_ENERGY)
+
+        # --- time (Equation (16) dominates) ---------------------------------
+        # Crossbar processing, edge streaming and vertex transfers are
+        # pipelined across GEs; the slowest stage bounds the run.
+        t_crossbar = edges_total * crossbar.latency_per_edge(run.algorithm)
+        t_stream = stream.latency
+        t_vertex = load.latency + store.latency
+        duration = max(t_crossbar, t_stream, t_vertex)
+        report.time = duration
+
+        # --- background -------------------------------------------------------
+        footprint = (
+            edges_per_iter * run.edge_bits
+            + vertices * run.vertex_bits
+        ) * FOOTPRINT_SLACK
+        chips = max(1, math.ceil(footprint / self.config.reram.density_bits))
+        # GraphR has no BPG: random-ish block order defeats it.
+        report.add(rpt.EDGE_MEMORY_BG,
+                   chips * global_mem.background_energy(duration))
+        report.add(rpt.ONCHIP_VERTEX_BG,
+                   regfile.standby_power * duration)
+        logic_power = params.CONTROLLER_POWER + params.ROUTER_LEAKAGE
+        report.add(rpt.LOGIC_BG, logic_power * duration)
+        return SimulationResult(report=report, run=run)

@@ -1,0 +1,335 @@
+"""The accelerator machine model: folds schedule counts into time/energy.
+
+This is the reproduction of the paper's cycle-level simulator at
+trace granularity (see DESIGN.md): the algorithm really runs (producing
+iteration counts and results), the schedule expands into exact access
+counts (Equations (3)-(8)), and this module prices those counts with the
+device models and integrates background power over the modelled
+execution time — the decomposition of Fig. 8 / Equations (1)-(2).
+
+One machine class covers every accelerator configuration of Fig. 16
+(acc+DRAM, acc+ReRAM, acc+SRAM+DRAM, acc+HyVE, acc+HyVE-opt): the
+configuration selects the technology at each level and the two
+optimisations; the folding logic is shared.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..algorithms.base import EdgeCentricAlgorithm
+from ..algorithms.runner import AlgorithmRun, run_cached
+from ..errors import ConfigError
+from ..graph.graph import Graph
+from ..memory.base import AccessKind, AccessPattern, MemoryDevice
+from ..memory.dram import DDR4Chip
+from ..memory.powergate import BankPowerGating, GatingReport
+from ..memory.reram import ReRAMChip
+from ..memory.sram import OnChipSRAM
+from . import params, report as rpt
+from .config import HyVEConfig, MemoryTechnology, Workload
+from .processing_unit import ProcessingUnitModel
+from .report import EnergyReport
+from .router import RouterModel
+from .scheduler import ScheduleCounts
+
+#: Slack factor sizing the memory footprint (30% reserve, Section 5).
+FOOTPRINT_SLACK = 1.3
+
+#: The edge memory needs the full 512-bit streaming channel, which on a
+#: commodity organisation spans a rank of x64 chips; its background
+#: power therefore scales with the full rank even for small datasets.
+#: The vertex memory has far lower bandwidth demands ("much smaller
+#: capacity... static power is not the main optimization target",
+#: Section 3.2) and is provisioned per capacity only.
+MIN_EDGE_CHIPS_PER_RANK = 8
+MIN_VERTEX_CHIPS = 1
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Report plus the algorithm's actual output values."""
+
+    report: EnergyReport
+    run: AlgorithmRun
+
+    @property
+    def values(self):
+        return self.run.values
+
+
+class AcceleratorMachine:
+    """A graph-processing accelerator with a configurable hierarchy."""
+
+    def __init__(self, config: HyVEConfig | None = None) -> None:
+        self.config = config or HyVEConfig()
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    # --- device construction ------------------------------------------------
+
+    def _edge_device(self, footprint_bits: float) -> tuple[MemoryDevice, int]:
+        cfg = self.config
+        if cfg.edge_memory == MemoryTechnology.RERAM:
+            device: MemoryDevice = ReRAMChip(cfg.reram)
+            density = cfg.reram.density_bits
+        else:
+            device = DDR4Chip(cfg.dram)
+            density = cfg.dram.density_bits
+        chips = max(MIN_EDGE_CHIPS_PER_RANK,
+                    math.ceil(footprint_bits / density))
+        return device, chips
+
+    def _vertex_device(self, footprint_bits: float) -> tuple[MemoryDevice, int]:
+        cfg = self.config
+        if cfg.offchip_vertex == MemoryTechnology.RERAM:
+            device: MemoryDevice = ReRAMChip(cfg.reram)
+            density = cfg.reram.density_bits
+        else:
+            device = DDR4Chip(cfg.dram)
+            density = cfg.dram.density_bits
+        chips = max(MIN_VERTEX_CHIPS,
+                    math.ceil(footprint_bits / density))
+        return device, chips
+
+    # --- main entry ---------------------------------------------------------
+
+    def run(
+        self,
+        algorithm: EdgeCentricAlgorithm,
+        workload: Workload | Graph,
+    ) -> SimulationResult:
+        """Execute ``algorithm`` and model the machine's time and energy."""
+        if isinstance(workload, Graph):
+            workload = Workload(workload)
+        run = run_cached(algorithm, workload.graph)
+        counts = ScheduleCounts.compute(run, workload, self.config)
+        report = self._fold(run, counts, workload)
+        return SimulationResult(report=report, run=run)
+
+    def run_counts(
+        self,
+        algorithm: EdgeCentricAlgorithm,
+        workload: Workload | Graph,
+    ) -> ScheduleCounts:
+        """Expose the schedule counts (for tests and the analytic model)."""
+        if isinstance(workload, Graph):
+            workload = Workload(workload)
+        run = run_cached(algorithm, workload.graph)
+        return ScheduleCounts.compute(run, workload, self.config)
+
+    # --- folding -------------------------------------------------------------
+
+    def _fold(
+        self,
+        run: AlgorithmRun,
+        counts: ScheduleCounts,
+        workload: Workload,
+    ) -> EnergyReport:
+        cfg = self.config
+        edge_footprint = (
+            counts.edges_total / counts.iterations
+        ) * counts.edge_bits * FOOTPRINT_SLACK
+        vertex_footprint = counts.vertices * counts.vertex_bits * FOOTPRINT_SLACK
+
+        edge_dev, edge_chips = self._edge_device(edge_footprint)
+        vertex_dev, vertex_chips = self._vertex_device(vertex_footprint)
+        sram = OnChipSRAM(cfg.sram_bits) if cfg.has_onchip else None
+        pu = ProcessingUnitModel(
+            sram_cycle=(
+                sram.point.read_latency
+                if sram is not None
+                else edge_dev.access_cost(
+                    AccessKind.READ, AccessPattern.RANDOM
+                ).latency / cfg.random_access_mlp
+            )
+        )
+        router = RouterModel(cfg.num_pus)
+
+        report = EnergyReport(
+            machine=cfg.label,
+            algorithm=run.algorithm,
+            graph=workload.name,
+            edges_traversed=counts.edges_total,
+            iterations=counts.iterations,
+            time=0.0,
+        )
+
+        # --- dynamic energy and busy times --------------------------------
+        edge_stream = edge_dev.transfer_cost(
+            AccessKind.READ, counts.edge_stream_bits, AccessPattern.SEQUENTIAL
+        )
+        seek_unit = edge_dev.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+        seq_unit = edge_dev.access_cost(
+            AccessKind.READ, AccessPattern.SEQUENTIAL
+        )
+        seek_extra_latency = counts.block_seeks * max(
+            0.0, seek_unit.latency - seq_unit.latency
+        )
+        report.add(rpt.EDGE_MEMORY, edge_stream.energy)
+
+        load = vertex_dev.transfer_cost(
+            AccessKind.READ, counts.offchip_load_bits, AccessPattern.SEQUENTIAL
+        )
+        store = vertex_dev.transfer_cost(
+            AccessKind.WRITE, counts.offchip_store_bits,
+            AccessPattern.SEQUENTIAL,
+        )
+        # Machines without a scratchpad follow the same interval
+        # schedule, so their "random" vertex accesses land inside the
+        # active interval region: they hit open rows at region_hit_rate
+        # and move only a narrow burst (one 64-bit beat-pair), not the
+        # full 512-bit streaming access.
+        hit = cfg.region_hit_rate
+        rnd_read = _narrow_random_cost(vertex_dev, AccessKind.READ, hit)
+        rnd_write = _narrow_random_cost(vertex_dev, AccessKind.WRITE, hit)
+        report.add(
+            rpt.OFFCHIP_VERTEX,
+            load.energy
+            + store.energy
+            + counts.random_read_ops * rnd_read.energy
+            + counts.random_write_ops * rnd_write.energy,
+        )
+
+        if sram is not None:
+            read_unit = sram.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+            write_unit = sram.access_cost(
+                AccessKind.WRITE, AccessPattern.RANDOM
+            )
+            onchip_energy = (
+                (counts.onchip_read_bits / sram.access_bits) * read_unit.energy
+                + (counts.onchip_write_bits / sram.access_bits)
+                * write_unit.energy
+            )
+            report.add(rpt.ONCHIP_VERTEX, onchip_energy)
+
+        report.add(
+            rpt.PROCESSING,
+            counts.pu_ops
+            * (pu.op_energy(run.algorithm) + params.PIPELINE_ENERGY_PER_EDGE),
+        )
+        report.add(
+            rpt.ROUTER,
+            router.transfer_energy(counts.router_words)
+            + router.reroute_energy(counts.reroute_events),
+        )
+        requests = (
+            counts.edge_stream_bits / edge_dev.access_bits
+            + counts.offchip_bits / vertex_dev.access_bits
+            + counts.random_read_ops
+            + counts.random_write_ops
+        )
+        report.add(
+            rpt.CONTROLLER, requests * params.CONTROLLER_REQUEST_ENERGY
+        )
+
+        # --- time ------------------------------------------------------------
+        t_stream = edge_stream.latency + seek_extra_latency
+        t_proc = (
+            counts.pu_ops
+            * pu.initiation_interval
+            * counts.imbalance
+            / cfg.num_pus
+        )
+        t_random_vertex = 0.0
+        if counts.random_read_ops or counts.random_write_ops:
+            t_random_vertex = (
+                counts.random_read_ops * rnd_read.latency
+                + counts.random_write_ops * rnd_write.latency
+            ) / min(cfg.random_access_mlp, cfg.num_pus)
+        t_step_overheads = counts.steps_total * (
+            params.SYNC_LATENCY + pu.pipeline_fill()
+        )
+        if cfg.data_sharing:
+            t_step_overheads += router.fill_latency(counts.steps_total)
+        t_processing_phase = (
+            max(t_stream, t_proc, t_random_vertex) + t_step_overheads
+        )
+        t_schedule = load.latency + store.latency
+
+        duration = t_processing_phase + t_schedule
+
+        # --- power gating (edge memory only, Section 4.1) -------------------
+        gating = GatingReport(0.0, 0, 0.0, 0.0)
+        if (
+            cfg.edge_memory == MemoryTechnology.RERAM
+            and cfg.power_gating.enabled
+        ):
+            gater = BankPowerGating(cfg.power_gating)
+            total_banks = edge_chips * cfg.reram.num_banks
+            active = (
+                1 if cfg.reram.subbank_interleaving else cfg.reram.num_banks
+            )
+            gating = gater.plan(
+                num_banks=total_banks,
+                active_banks=active,
+                streamed_bits=counts.edge_stream_bits,
+                bank_capacity_bits=cfg.reram.bank_capacity_bits,
+                duration=duration,
+            )
+            duration += gating.overhead_time
+            report.add(rpt.EDGE_MEMORY, gating.overhead_energy)
+
+        report.time = duration
+
+        # --- background energy ------------------------------------------------
+        report.add(
+            rpt.EDGE_MEMORY_BG,
+            edge_chips
+            * edge_dev.background_energy(duration, gating.gated_fraction),
+        )
+        report.add(
+            rpt.OFFCHIP_VERTEX_BG,
+            vertex_chips * vertex_dev.background_energy(duration),
+        )
+        if sram is not None:
+            report.add(
+                rpt.ONCHIP_VERTEX_BG,
+                cfg.num_pus * sram.background_energy(duration),
+            )
+        logic_power = (
+            cfg.num_pus * pu.leakage_power
+            + router.leakage_power
+            + params.CONTROLLER_POWER
+        )
+        report.add(rpt.LOGIC_BG, logic_power * duration)
+        return report
+
+
+def _narrow_random_cost(
+    device: MemoryDevice,
+    kind: AccessKind,
+    hit_rate: float,
+    burst_bits: int = 64,
+) -> "AccessCost":
+    """Cost of one narrow random access at a given row-hit rate.
+
+    A hit pays only the data-movement share of a sequential access,
+    scaled to the narrow burst; a miss additionally pays the full
+    activation premium (random cost minus the unused wide burst).
+    """
+    from ..memory.base import AccessCost, AccessPattern
+
+    seq = device.access_cost(kind, AccessPattern.SEQUENTIAL)
+    rnd = device.access_cost(kind, AccessPattern.RANDOM)
+    narrow = burst_bits / device.access_bits
+    hit_energy = seq.energy * narrow
+    activation_premium = max(0.0, rnd.energy - seq.energy)
+    miss_energy = hit_energy + activation_premium
+    return AccessCost(
+        latency=hit_rate * seq.latency + (1.0 - hit_rate) * rnd.latency,
+        energy=hit_rate * hit_energy + (1.0 - hit_rate) * miss_energy,
+    )
+
+
+def make_machine(name: str) -> AcceleratorMachine:
+    """Instantiate an accelerator machine by its Fig. 16 label."""
+    from .config import NAMED_CONFIGS
+
+    if name not in NAMED_CONFIGS:
+        known = ", ".join(NAMED_CONFIGS)
+        raise ConfigError(f"unknown machine {name!r}; known: {known}")
+    return AcceleratorMachine(NAMED_CONFIGS[name]())

@@ -1,0 +1,50 @@
+"""Pipelined N-to-N router for source-interval sharing (Section 4.2).
+
+During a super-block step, each PU reads its source vertices from
+another PU's source section through the router; because source data is
+read-only during a step there are no hazards and the router can be fully
+pipelined — throughput is unaffected and only a fill latency per step
+remains (the paper bounds remote access at ~5-10 SRAM cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from . import params
+
+
+@dataclass(frozen=True)
+class RouterModel:
+    """Energy/latency model of the data-sharing router."""
+
+    num_ports: int
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0:
+            raise ConfigError(
+                f"router needs at least one port, got {self.num_ports}"
+            )
+
+    def transfer_energy(self, words: float) -> float:
+        """Energy to move ``words`` 32-bit words between PUs."""
+        if words < 0:
+            raise ConfigError(f"negative word count: {words}")
+        return words * params.ROUTER_HOP_ENERGY_PER_WORD
+
+    def reroute_energy(self, events: float) -> float:
+        """Control energy of ``events`` rerouting operations."""
+        if events < 0:
+            raise ConfigError(f"negative event count: {events}")
+        return events * params.ROUTER_REROUTE_ENERGY
+
+    def fill_latency(self, steps: float) -> float:
+        """Pipeline-fill latency across ``steps`` super-block steps."""
+        if steps < 0:
+            raise ConfigError(f"negative step count: {steps}")
+        return steps * params.ROUTER_FILL_LATENCY
+
+    @property
+    def leakage_power(self) -> float:
+        return params.ROUTER_LEAKAGE

@@ -1,0 +1,212 @@
+"""Schedule counting: from an algorithm run to exact access counts.
+
+This module turns one :class:`~repro.algorithms.runner.AlgorithmRun`
+plus a machine configuration into the access counts of Equations
+(3), (4), (7) and (8):
+
+* every edge is read once per iteration (sequential, edge memory);
+* per edge, the source and destination are read and the destination
+  written in the on-chip vertex memory (N^R_{v,r} = N^W_{v,r} = N^R_e);
+* per iteration, destination intervals are loaded and stored once
+  (N^W_{v,s} = N_v) while source intervals are loaded (P/N) * N_v times
+  with data sharing (Equation (8)) and P * N_v times without (each block
+  reloads its source interval from off-chip memory);
+* machines without a scratchpad issue the per-edge vertex traffic as
+  *random* accesses straight at main memory.
+
+Counts are computed at the workload's reported scale (see
+:class:`~repro.arch.config.Workload`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.runner import AlgorithmRun
+from ..errors import ConfigError
+from ..graph.hash_partition import hash_partition, imbalance
+from .config import HyVEConfig, Workload, choose_num_intervals
+
+#: Partition size used to estimate PU load imbalance.  The exact P of a
+#: paper-scale run can exceed the synthetic graph's usable resolution;
+#: imbalance is a weak function of P under hash placement, so a
+#: reference partition is used (documented model approximation).
+_IMBALANCE_REFERENCE_MULTIPLE = 8
+
+_IMBALANCE_CACHE: dict[tuple[str, str, int], float] = {}
+
+
+def estimate_imbalance(run: AlgorithmRun, workload: Workload,
+                       num_pus: int, hash_placement: bool = True) -> float:
+    """Per-step load imbalance of the super-block schedule (>= 1).
+
+    ``hash_placement=False`` models natural (index-order) placement,
+    where community structure concentrates edges on some PUs.
+    """
+    key = (workload.name, run.algorithm, num_pus, hash_placement)
+    if key in _IMBALANCE_CACHE:
+        return _IMBALANCE_CACHE[key]
+    graph = workload.graph
+    # The streamed graph may differ (CC symmetrises); imbalance of the
+    # base graph is an adequate proxy and avoids a second partition.
+    p = num_pus * _IMBALANCE_REFERENCE_MULTIPLE
+    while p > max(graph.num_vertices, 1):
+        p //= 2
+    p = max(p - (p % num_pus), num_pus)
+    if p > graph.num_vertices:
+        value = 1.0
+    elif hash_placement:
+        part, _ = hash_partition(graph, p)
+        value = imbalance(part, num_pus)
+    else:
+        from ..graph.partition import IntervalBlockPartition
+
+        part = IntervalBlockPartition.build(graph, p)
+        value = imbalance(part, num_pus)
+    _IMBALANCE_CACHE[key] = value
+    return value
+
+
+@dataclass(frozen=True)
+class ScheduleCounts:
+    """Access counts for one full run, at reported scale.
+
+    All ``*_bits`` fields are totals over the whole execution.
+    """
+
+    iterations: int
+    num_pus: int
+    num_intervals: int
+    edges_total: float                 # N^R_e summed over iterations
+    vertices: float                    # N_v at reported scale
+    edge_bits: int
+    vertex_bits: int
+
+    # Edge memory (sequential stream).
+    edge_stream_bits: float
+    block_seeks: float                 # one per block per iteration
+
+    # On-chip vertex memory (random, absorbed by SRAM when present).
+    onchip_read_bits: float
+    onchip_write_bits: float
+
+    # Off-chip vertex memory: interval scheduling (sequential).
+    offchip_load_bits: float
+    offchip_store_bits: float
+
+    # Main-memory random vertex traffic (machines without scratchpad).
+    random_read_ops: float
+    random_write_ops: float
+
+    # Router (data sharing).
+    router_words: float
+    reroute_events: float
+
+    # Control.
+    steps_total: float                 # synchronisation barriers
+    pu_ops: float
+    imbalance: float
+
+    @classmethod
+    def compute(
+        cls,
+        run: AlgorithmRun,
+        workload: Workload,
+        config: HyVEConfig,
+    ) -> "ScheduleCounts":
+        edge_scale = workload.edge_scale
+        vertex_scale = workload.vertex_scale
+        edges_per_iter = run.edges_per_iteration * edge_scale
+        vertices = run.num_vertices * vertex_scale
+        iters = run.iterations
+        if iters <= 0:
+            raise ConfigError(f"run reports no iterations: {run}")
+
+        n = config.num_pus
+        p = choose_num_intervals(config, vertices, run.vertex_bits)
+        edges_total = edges_per_iter * iters
+        edge_stream_bits = edges_total * run.edge_bits
+        blocks_per_iter = float(p) * float(p)
+        steps_per_iter = (p / n) ** 2 * n
+
+        if config.has_onchip:
+            # The PU datapath moves one 32-bit operand per vertex access
+            # (source value, destination value, updated value); wider
+            # vertex records (PR's rank + out-degree) cost extra only in
+            # the interval transfers below.
+            onchip_read_bits = 2.0 * edges_total * 32
+            onchip_write_bits = edges_total * 32
+            src_loads = (p / n if config.data_sharing else float(p))
+            # Active-interval scheduling: an interval is (re)loaded only
+            # if it holds at least one vertex whose value changed in the
+            # previous iteration.  BFS/SSSP touch few intervals early.
+            activity = _interval_activity(run, p)
+            offchip_load_bits = (
+                (src_loads + 1.0) * vertices * run.vertex_bits * activity
+            )
+            offchip_store_bits = vertices * run.vertex_bits * activity
+            random_read_ops = 0.0
+            random_write_ops = 0.0
+        else:
+            onchip_read_bits = 0.0
+            onchip_write_bits = 0.0
+            offchip_load_bits = 0.0
+            offchip_store_bits = 0.0
+            random_read_ops = 2.0 * edges_total
+            random_write_ops = edges_total
+
+        if config.data_sharing:
+            router_words = (
+                edges_total * (n - 1) / n * (run.vertex_bits / 32.0)
+            )
+            reroute_events = steps_per_iter * iters * n
+        else:
+            router_words = 0.0
+            reroute_events = 0.0
+
+        return cls(
+            iterations=iters,
+            num_pus=n,
+            num_intervals=p,
+            edges_total=edges_total,
+            vertices=vertices,
+            edge_bits=run.edge_bits,
+            vertex_bits=run.vertex_bits,
+            edge_stream_bits=edge_stream_bits,
+            block_seeks=blocks_per_iter * iters,
+            onchip_read_bits=onchip_read_bits,
+            onchip_write_bits=onchip_write_bits,
+            offchip_load_bits=offchip_load_bits,
+            offchip_store_bits=offchip_store_bits,
+            random_read_ops=random_read_ops,
+            random_write_ops=random_write_ops,
+            router_words=router_words,
+            reroute_events=reroute_events,
+            steps_total=steps_per_iter * iters,
+            pu_ops=edges_total,
+            imbalance=estimate_imbalance(
+                run, workload, n, config.hash_placement
+            ),
+        )
+
+    @property
+    def offchip_bits(self) -> float:
+        return self.offchip_load_bits + self.offchip_store_bits
+
+
+def _interval_activity(run: AlgorithmRun, num_intervals: int) -> float:
+    """Sum over iterations of the fraction of intervals with an active
+    source (hash placement spreads active vertices uniformly).
+
+    Equals ``iterations`` for algorithms where every vertex stays active
+    (PR, SpMV) and much less for point-initialised traversals.
+    """
+    if not run.active_sources:
+        return float(run.iterations)
+    n_v = max(run.num_vertices, 1)
+    per_interval = n_v / num_intervals
+    total = 0.0
+    for active in run.active_sources:
+        frac = min(max(active, 0), n_v) / n_v
+        total += 1.0 - (1.0 - frac) ** per_interval
+    return total

@@ -1,0 +1,98 @@
+"""Generic design-space sweep helper.
+
+One call evaluates a machine configuration axis against a workload —
+the workhorse of architecture exploration (the Table 4 / Figs. 13
+methodology, exposed as API)::
+
+    from repro.arch.sweep import sweep
+    points = sweep("sram_bits", [2 * MB, 4 * MB, 8 * MB],
+                   PageRank, Workload.from_dataset("LJ"))
+    best = max(points, key=lambda p: p.report.mteps_per_watt)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Sequence
+
+from ..algorithms.base import EdgeCentricAlgorithm
+from ..errors import ConfigError
+from ..graph.graph import Graph
+from .config import HyVEConfig, Workload
+from .machine import AcceleratorMachine
+from .report import EnergyReport
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration."""
+
+    field: str
+    value: Any
+    config: HyVEConfig
+    report: EnergyReport
+
+    @property
+    def mteps_per_watt(self) -> float:
+        return self.report.mteps_per_watt
+
+
+def sweep(
+    field: str,
+    values: Sequence[Any],
+    algorithm_factory: Callable[[], EdgeCentricAlgorithm],
+    workload: Workload | Graph,
+    base_config: HyVEConfig | None = None,
+) -> list[SweepPoint]:
+    """Evaluate one config field across ``values``.
+
+    ``field`` must be a top-level :class:`HyVEConfig` field (e.g.
+    ``sram_bits``, ``num_pus``, ``data_sharing``, ``edge_memory``);
+    device-level axes are swept by passing prepared ``ReRAMConfig`` /
+    ``DRAMConfig`` values for the ``reram`` / ``dram`` fields.
+    """
+    base_config = base_config or HyVEConfig()
+    valid = {f.name for f in fields(HyVEConfig)}
+    if field not in valid:
+        raise ConfigError(
+            f"unknown HyVEConfig field {field!r}; valid: {sorted(valid)}"
+        )
+    if not values:
+        raise ConfigError("sweep needs at least one value")
+    if isinstance(workload, Graph):
+        workload = Workload(workload)
+
+    points: list[SweepPoint] = []
+    for value in values:
+        config = replace(base_config, **{field: value,
+                                         "label": f"{field}={value}"})
+        report = AcceleratorMachine(config).run(
+            algorithm_factory(), workload
+        ).report
+        points.append(SweepPoint(field, value, config, report))
+    return points
+
+
+def best_point(points: list[SweepPoint]) -> SweepPoint:
+    """The most energy-efficient point of a sweep."""
+    if not points:
+        raise ConfigError("empty sweep")
+    return max(points, key=lambda p: p.report.mteps_per_watt)
+
+
+def pareto_front(points: list[SweepPoint]) -> list[SweepPoint]:
+    """Points not dominated on (energy, time) — lower is better on both."""
+    front: list[SweepPoint] = []
+    for candidate in points:
+        dominated = any(
+            other.report.total_energy <= candidate.report.total_energy
+            and other.report.time <= candidate.report.time
+            and (
+                other.report.total_energy < candidate.report.total_energy
+                or other.report.time < candidate.report.time
+            )
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    return front

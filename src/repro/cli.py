@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — list datasets, machines, algorithms and experiments.
+* ``run`` — simulate one (machine, algorithm, workload) and print the
+  report (``--json`` for machine-readable output).
+* ``compare`` — run every machine on one workload and print a ranking.
+* ``experiment`` — regenerate one or more tables/figures.
+
+Examples::
+
+    python -m repro info
+    python -m repro run --machine acc+HyVE-opt --algorithm pr --dataset LJ
+    python -m repro run --algorithm bfs --graph edges.txt --json
+    python -m repro compare --algorithm pr --dataset YT
+    python -m repro experiment fig16 fig21
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .algorithms import make_algorithm
+from .arch.config import NAMED_CONFIGS, Workload
+from .arch.cpu import CPU_DRAM, CPU_DRAM_OPT, CPUMachine
+from .arch.graphr import GraphRMachine
+from .arch.machine import make_machine
+from .graph.datasets import DATASET_ORDER, DATASETS
+from .graph import io as graph_io
+
+#: Machines addressable from the CLI.
+MACHINE_NAMES = tuple(NAMED_CONFIGS) + ("CPU+DRAM", "CPU+DRAM-opt", "GraphR")
+
+ALGORITHM_NAMES = ("pr", "bfs", "cc", "sssp", "spmv")
+
+
+def build_machine(name: str):
+    if name == "CPU+DRAM":
+        return CPUMachine(CPU_DRAM)
+    if name == "CPU+DRAM-opt":
+        return CPUMachine(CPU_DRAM_OPT)
+    if name == "GraphR":
+        return GraphRMachine()
+    return make_machine(name)
+
+
+def load_workload(args: argparse.Namespace) -> Workload:
+    if args.graph:
+        graph = graph_io.load_edge_list(args.graph)
+        return Workload(graph)
+    return Workload.from_dataset(args.dataset)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    del args
+    print("datasets (synthetic stand-ins at paper-reported scale):")
+    for key in DATASET_ORDER:
+        spec = DATASETS[key]
+        print(f"  {key}: {spec.full_name}, "
+              f"{spec.paper_vertices:,} vertices / "
+              f"{spec.paper_edges:,} edges "
+              f"(synthetic {spec.num_vertices:,}/{spec.num_edges:,})")
+    print("\nmachines:")
+    for name in MACHINE_NAMES:
+        print(f"  {name}")
+    print("\nalgorithms:", ", ".join(ALGORITHM_NAMES))
+    from .experiments import ALL_EXPERIMENTS
+
+    print("\nexperiments:", ", ".join(ALL_EXPERIMENTS))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = load_workload(args)
+    machine = build_machine(args.machine)
+    algorithm = make_algorithm(args.algorithm)
+    result = machine.run(algorithm, workload)
+    if args.json:
+        print(json.dumps(result.report.to_dict(), indent=2))
+    else:
+        print(result.report.summary())
+        print("breakdown:")
+        for bucket, share in result.report.breakdown().items():
+            print(f"  {bucket:18s} {100 * share:5.1f}%")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = load_workload(args)
+    rows = []
+    for name in MACHINE_NAMES:
+        machine = build_machine(name)
+        report = machine.run(make_algorithm(args.algorithm), workload).report
+        rows.append((name, report.mteps_per_watt, report.total_energy,
+                     report.time))
+    rows.sort(key=lambda r: -r[1])
+    print(f"{'machine':16s} {'MTEPS/W':>10s} {'energy (mJ)':>12s} "
+          f"{'time (ms)':>10s}")
+    for name, eff, energy, time in rows:
+        print(f"{name:16s} {eff:10.1f} {energy * 1e3:12.3f} "
+              f"{time * 1e3:10.2f}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    names = args.names or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        result = ALL_EXPERIMENTS[name]()
+        print(result.format())
+        if not args.no_save:
+            path = result.save()
+            print(f"[saved to {path}]")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HyVE hybrid vertex-edge memory hierarchy simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets, machines and experiments")
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=DATASET_ORDER, default="YT",
+                       help="evaluation dataset (default YT)")
+        p.add_argument("--graph", metavar="FILE",
+                       help="edge-list file instead of a dataset")
+        p.add_argument("--algorithm", choices=ALGORITHM_NAMES, default="pr")
+
+    run = sub.add_parser("run", help="simulate one machine")
+    add_workload_args(run)
+    run.add_argument("--machine", choices=MACHINE_NAMES,
+                     default="acc+HyVE-opt")
+    run.add_argument("--json", action="store_true",
+                     help="print the full report as JSON")
+
+    compare = sub.add_parser("compare", help="rank every machine")
+    add_workload_args(compare)
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate paper tables/figures")
+    exp.add_argument("names", nargs="*",
+                     help="experiment ids (default: all)")
+    exp.add_argument("--no-save", action="store_true",
+                     help="print only; do not write under results/")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Dynamic (evolving) graph support (Section 5)."""
+
+from .store import (
+    DEFAULT_SLACK,
+    DynamicGraphStore,
+    DynamicStats,
+    GraphRDynamicStore,
+    INVALID_VALUE,
+)
+from .updates import (
+    DEFAULT_MIX,
+    Request,
+    RequestKind,
+    apply_requests,
+    generate_requests,
+)
+from .throughput import (
+    GRAPHR_BYTES_PER_UPDATE,
+    HYVE_BYTES_PER_UPDATE,
+    ThroughputResult,
+    compare_dynamic_throughput,
+    measure_store,
+    modeled_absolute_throughput,
+    modeled_update_ratio,
+)
+
+__all__ = [
+    "DEFAULT_SLACK",
+    "DynamicGraphStore",
+    "DynamicStats",
+    "GraphRDynamicStore",
+    "INVALID_VALUE",
+    "DEFAULT_MIX",
+    "Request",
+    "RequestKind",
+    "apply_requests",
+    "generate_requests",
+    "GRAPHR_BYTES_PER_UPDATE",
+    "HYVE_BYTES_PER_UPDATE",
+    "ThroughputResult",
+    "compare_dynamic_throughput",
+    "measure_store",
+    "modeled_absolute_throughput",
+    "modeled_update_ratio",
+]

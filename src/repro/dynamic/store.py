@@ -1,0 +1,508 @@
+"""Dynamic graph storage (Section 5).
+
+HyVE supports evolving graphs with O(1) incremental updates instead of
+re-running preprocessing:
+
+* **Adding edges** — appended at the end of the owning block's memory
+  extent; every block reserves ~30% slack, and when it runs out an
+  extension region is allocated and linked from the block's end.
+* **Deleting edges** — the deleted edge is overwritten by the block's
+  last edge and the last slot is freed (order inside a block is
+  irrelevant to the edge-centric model).
+* **Adding vertices** — intervals also reserve slack; when an interval
+  overflows, a full re-preprocessing pass runs (vertex access is not
+  sequential, so extension chaining does not work — Section 5).
+* **Deleting vertices** — the value is set to an invalid sentinel and
+  incident edges are removed.
+
+A :class:`GraphRDynamicStore` mirrors the same request interface over
+GraphR's representation — fixed 8x8 adjacency tiles that must be kept
+in dense (crossbar-loadable) form — which is what makes its update
+throughput ~8x lower (Fig. 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DynamicGraphError
+from ..graph.graph import Graph, VERTEX_DTYPE
+from ..graph.partition import interval_bounds
+
+#: Sentinel value of deleted vertices ("e.g., -1 for PageRank").
+INVALID_VALUE = -1.0
+
+#: Default reserved slack ("e.g., 30% of a block size").
+DEFAULT_SLACK = 0.30
+
+
+@dataclass
+class DynamicStats:
+    """Bookkeeping of one store's update history."""
+
+    edges_added: int = 0
+    edges_deleted: int = 0
+    vertices_added: int = 0
+    vertices_deleted: int = 0
+    extensions_allocated: int = 0
+    repartitions: int = 0
+
+    @property
+    def edges_changed(self) -> int:
+        """Total edge mutations (the Fig. 20 throughput numerator)."""
+        return self.edges_added + self.edges_deleted
+
+
+class _BlockStore:
+    """One block's edge storage with slack and extension chaining.
+
+    Mirrors the paper's layout: a flat pair array with reserved space at
+    the end, plus the controller's address map — here a position index —
+    so both insertion (append into slack) and deletion (swap-with-last
+    at a known address) are O(1), as Section 5 claims.
+    """
+
+    __slots__ = ("pairs", "weights", "positions", "capacity", "extensions")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        slack: float,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        self.pairs: list[tuple[int, int]] = list(
+            zip(src.tolist(), dst.tolist())
+        )
+        self.weights: list[float] | None = (
+            None if weights is None else list(weights.tolist())
+        )
+        self.positions: dict[tuple[int, int], list[int]] = {}
+        for idx, pair in enumerate(self.pairs):
+            self.positions.setdefault(pair, []).append(idx)
+        self.capacity = max(4, int(np.ceil(len(self.pairs) * (1.0 + slack))))
+        self.extensions = 0
+
+    @property
+    def used(self) -> int:
+        return len(self.pairs)
+
+    def append(self, s: int, d: int, weight: float | None = None) -> bool:
+        """Add an edge; returns True if an extension was allocated."""
+        extended = False
+        if len(self.pairs) == self.capacity:
+            # Reserved space exhausted: allocate and link an extension
+            # region at the end of the block (Section 5).
+            self.capacity += max(4, self.capacity // 2)
+            self.extensions += 1
+            extended = True
+        pair = (s, d)
+        self.positions.setdefault(pair, []).append(len(self.pairs))
+        self.pairs.append(pair)
+        if self.weights is not None:
+            self.weights.append(0.0 if weight is None else float(weight))
+        return extended
+
+    def delete(self, s: int, d: int) -> bool:
+        """Remove one matching edge by swap-with-last; False if absent."""
+        pair = (s, d)
+        stack = self.positions.get(pair)
+        if not stack:
+            return False
+        idx = stack.pop()
+        if not stack:
+            del self.positions[pair]
+        last = len(self.pairs) - 1
+        if idx != last:
+            moved = self.pairs[last]
+            self.pairs[idx] = moved
+            moved_stack = self.positions[moved]
+            moved_stack[moved_stack.index(last)] = idx
+            if self.weights is not None:
+                self.weights[idx] = self.weights[last]
+        self.pairs.pop()
+        if self.weights is not None:
+            self.weights.pop()
+        return True
+
+    def delete_vertex_edges(self, v: int) -> int:
+        """Remove every edge incident to ``v``; returns removal count."""
+        victims = [p for p in self.pairs if p[0] == v or p[1] == v]
+        for pair in victims:
+            self.delete(pair[0], pair[1])
+        return len(victims)
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        if not self.pairs:
+            empty = np.empty(0, dtype=VERTEX_DTYPE)
+            return empty, empty, (
+                None if self.weights is None else np.empty(0)
+            )
+        arr = np.asarray(self.pairs, dtype=VERTEX_DTYPE)
+        weights = (
+            None if self.weights is None else np.asarray(self.weights)
+        )
+        return arr[:, 0], arr[:, 1], weights
+
+
+class DynamicGraphStore:
+    """HyVE's interval-block layout with O(1) incremental updates."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_intervals: int = 32,
+        slack: float = DEFAULT_SLACK,
+    ) -> None:
+        if slack < 0:
+            raise DynamicGraphError(f"slack must be non-negative: {slack}")
+        self.slack = slack
+        self.num_intervals = num_intervals
+        self.stats = DynamicStats()
+        self._build(graph)
+
+    # --- construction ------------------------------------------------------
+
+    def _build(self, graph: Graph) -> None:
+        self._capacity = max(
+            4, int(np.ceil(graph.num_vertices * (1.0 + self.slack)))
+        )
+        self._num_vertices = graph.num_vertices
+        self._valid = np.zeros(self._capacity, dtype=bool)
+        self._valid[: graph.num_vertices] = True
+        self._values = np.zeros(self._capacity)
+        self._bounds = interval_bounds(
+            max(self._capacity, 1), self.num_intervals
+        )
+        # Uniform-enough interval size for O(1) id -> interval mapping.
+        self._interval_stride = max(
+            1, -(-self._capacity // self.num_intervals)
+        )
+        self._blocks: dict[tuple[int, int], _BlockStore] = {}
+        if graph.num_edges:
+            src_iv = np.minimum(
+                graph.src // self._interval_stride, self.num_intervals - 1
+            )
+            dst_iv = np.minimum(
+                graph.dst // self._interval_stride, self.num_intervals - 1
+            )
+            flat = src_iv * self.num_intervals + dst_iv
+            order = np.argsort(flat, kind="stable")
+            sorted_flat = flat[order]
+            boundaries = np.nonzero(np.diff(sorted_flat))[0] + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [sorted_flat.size]])
+            for start, end in zip(starts, ends):
+                key_flat = int(sorted_flat[start])
+                key = divmod(key_flat, self.num_intervals)
+                sel = order[start:end]
+                self._blocks[key] = _BlockStore(
+                    graph.src[sel],
+                    graph.dst[sel],
+                    self.slack,
+                    None if graph.weights is None else graph.weights[sel],
+                )
+        self._num_edges = graph.num_edges
+        self._weighted = graph.is_weighted
+
+    # --- queries ------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def is_valid(self, v: int) -> bool:
+        return 0 <= v < self._num_vertices and bool(self._valid[v])
+
+    def invalid_vertices(self) -> list[int]:
+        """Ids of vertices deleted by invalidation."""
+        return np.nonzero(~self._valid[: self._num_vertices])[0].tolist()
+
+    def value(self, v: int) -> float:
+        self._check_vertex(v)
+        return float(self._values[v]) if self._valid[v] else INVALID_VALUE
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._num_vertices:
+            raise DynamicGraphError(
+                f"vertex {v} out of range [0, {self._num_vertices})"
+            )
+
+    def _interval_of(self, v: int) -> int:
+        return min(v // self._interval_stride, self.num_intervals - 1)
+
+    def _block_of(self, s: int, d: int) -> tuple[int, int]:
+        return self._interval_of(s), self._interval_of(d)
+
+    # --- mutations ------------------------------------------------------------
+
+    def add_edge(self, s: int, d: int, weight: float | None = None) -> None:
+        """O(1): append to the owning block's slack space."""
+        self._check_vertex(s)
+        self._check_vertex(d)
+        if not (self._valid[s] and self._valid[d]):
+            raise DynamicGraphError(
+                f"edge ({s}, {d}) touches a deleted vertex"
+            )
+        if self._weighted and weight is None:
+            raise DynamicGraphError(
+                "this store holds weighted edges; pass weight="
+            )
+        if not self._weighted and weight is not None:
+            raise DynamicGraphError(
+                "this store holds unweighted edges; omit weight="
+            )
+        key = self._block_of(s, d)
+        block = self._blocks.get(key)
+        if block is None:
+            block = _BlockStore(
+                np.empty(0, dtype=VERTEX_DTYPE),
+                np.empty(0, dtype=VERTEX_DTYPE),
+                self.slack,
+                np.empty(0) if self._weighted else None,
+            )
+            self._blocks[key] = block
+        if block.append(s, d, weight):
+            self.stats.extensions_allocated += 1
+        self._num_edges += 1
+        self.stats.edges_added += 1
+
+    def delete_edge(self, s: int, d: int) -> None:
+        """O(block): swap-with-last inside the owning block."""
+        block = self._blocks.get(self._block_of(s, d))
+        if block is None or not block.delete(s, d):
+            raise DynamicGraphError(f"edge ({s}, {d}) not present")
+        self._num_edges -= 1
+        self.stats.edges_deleted += 1
+
+    def add_vertex(self, value: float = 0.0) -> int:
+        """O(1) while interval slack lasts; repartitions on overflow."""
+        if self._num_vertices == self._capacity:
+            self._repartition()
+        v = self._num_vertices
+        self._num_vertices += 1
+        self._valid[v] = True
+        self._values[v] = value
+        self.stats.vertices_added += 1
+        return v
+
+    def delete_vertex(self, v: int, purge_edges: bool = False) -> int:
+        """Delete vertex ``v``.
+
+        The paper's O(1) scheme marks the value invalid (-1) and leaves
+        incident edges in place — the edge-centric update simply has no
+        effect for them.  ``purge_edges=True`` additionally removes the
+        incident edges (O(degree + blocks touched)), for callers that
+        need a physically clean graph.
+        """
+        self._check_vertex(v)
+        if not self._valid[v]:
+            raise DynamicGraphError(f"vertex {v} already deleted")
+        self._valid[v] = False
+        self._values[v] = INVALID_VALUE
+        removed = 0
+        if purge_edges:
+            i = self._interval_of(v)
+            seen: set[tuple[int, int]] = set()
+            for k in range(self.num_intervals):
+                for key in ((i, k), (k, i)):
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    block = self._blocks.get(key)
+                    if block is not None:
+                        removed += block.delete_vertex_edges(v)
+            self._num_edges -= removed
+            self.stats.edges_deleted += removed
+        self.stats.vertices_deleted += 1
+        return removed
+
+    def _repartition(self) -> None:
+        """Full re-preprocessing: rebuild layout with fresh slack."""
+        graph = self.to_graph()
+        values = self._values[: self._num_vertices].copy()
+        valid = self._valid[: self._num_vertices].copy()
+        stats = self.stats
+        self._build(graph)
+        self._values[: values.size] = values
+        self._valid[: valid.size] = valid
+        self.stats = stats
+        self.stats.repartitions += 1
+
+    # --- export -------------------------------------------------------------
+
+    def to_graph(self, name: str = "dynamic") -> Graph:
+        """Materialise the current edge set as an immutable graph."""
+        srcs = []
+        dsts = []
+        weight_parts = []
+        for block in self._blocks.values():
+            s, d, w = block.edges()
+            srcs.append(s)
+            dsts.append(d)
+            if w is not None:
+                weight_parts.append(w)
+        if srcs:
+            src = np.concatenate(srcs)
+            dst = np.concatenate(dsts)
+            weights = (
+                np.concatenate(weight_parts) if self._weighted else None
+            )
+        else:
+            src = np.empty(0, dtype=VERTEX_DTYPE)
+            dst = np.empty(0, dtype=VERTEX_DTYPE)
+            weights = np.empty(0) if self._weighted else None
+        return Graph(self._num_vertices, src, dst, weights, name=name)
+
+
+class GraphRDynamicStore:
+    """The same request interface over GraphR's 8x8-tile representation.
+
+    GraphR's processing format is the dense adjacency matrix of each
+    non-empty 8x8 tile (what gets written into a crossbar), so every
+    edge mutation must also update the dense tile image — and the tile
+    population is ~N_avg edges, so there are orders of magnitude more
+    tiles to manage than HyVE has blocks.
+    """
+
+    TILE = 8
+
+    def __init__(self, graph: Graph, slack: float = DEFAULT_SLACK) -> None:
+        self.slack = slack
+        self.stats = DynamicStats()
+        self._num_vertices = graph.num_vertices
+        self._valid = np.ones(graph.num_vertices, dtype=bool)
+        self._tiles: dict[tuple[int, int], np.ndarray] = {}
+        self._row_index: dict[int, set[tuple[int, int]]] = {}
+        self._col_index: dict[int, set[tuple[int, int]]] = {}
+        self._num_edges = 0
+        if graph.num_edges:
+            self._bulk_load(graph)
+
+    def _bulk_load(self, graph: Graph) -> None:
+        """Vectorised initial tiling (the one-shot preprocessing pass)."""
+        t = self.TILE
+        ti = graph.src // t
+        tj = graph.dst // t
+        flat = ti * ((self._num_vertices // t) + 1) + tj
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        boundaries = np.nonzero(np.diff(sorted_flat))[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [sorted_flat.size]])
+        for start, end in zip(starts, ends):
+            sel = order[start:end]
+            key = (int(ti[sel[0]]), int(tj[sel[0]]))
+            tile = np.zeros((self.PLANES, t, t), dtype=np.int32)
+            rows = (graph.src[sel] % t).astype(np.int64)
+            cols = (graph.dst[sel] % t).astype(np.int64)
+            np.add.at(tile[0], (rows, cols), 1)
+            counts = tile[0]
+            for plane in range(1, self.PLANES):
+                tile[plane] = (counts >> (4 * plane)) & 0xF
+            self._tiles[key] = tile
+            self._row_index.setdefault(key[0], set()).add(key)
+            self._col_index.setdefault(key[1], set()).add(key)
+        self._num_edges = graph.num_edges
+
+    def _tile_key(self, s: int, d: int) -> tuple[tuple[int, int], int, int]:
+        t = self.TILE
+        return (s // t, d // t), s % t, d % t
+
+    #: 16-bit cell values split over four 4-bit crossbar planes.
+    PLANES = 4
+
+    def _tile_set(self, s: int, d: int, value: int) -> np.ndarray:
+        key, r, c = self._tile_key(s, d)
+        tile = self._tiles.get(key)
+        if tile is None:
+            tile = np.zeros((self.PLANES, self.TILE, self.TILE),
+                            dtype=np.int32)
+            self._tiles[key] = tile
+            self._row_index.setdefault(key[0], set()).add(key)
+            self._col_index.setdefault(key[1], set()).add(key)
+        count = tile[0, r, c] + value
+        # The dense images are what the four 4-bit crossbars load:
+        # every mutation re-encodes the cell across all planes and
+        # rewrites the images.
+        for plane in range(self.PLANES):
+            tile[plane, r, c] = (count >> (4 * plane)) & 0xF if count else 0
+        tile[0, r, c] = count
+        self._tiles[key] = tile.copy()
+        return tile
+
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def invalid_vertices(self) -> list[int]:
+        """Ids of vertices deleted by invalidation."""
+        return np.nonzero(~self._valid[: self._num_vertices])[0].tolist()
+
+    def add_edge(self, s: int, d: int) -> None:
+        if not (0 <= s < self._num_vertices and 0 <= d < self._num_vertices):
+            raise DynamicGraphError(f"edge ({s}, {d}) out of range")
+        self._tile_set(s, d, 1)
+        self._num_edges += 1
+        self.stats.edges_added += 1
+
+    def delete_edge(self, s: int, d: int) -> None:
+        key, r, c = self._tile_key(s, d)
+        tile = self._tiles.get(key)
+        if tile is None or tile[0, r, c] <= 0:
+            raise DynamicGraphError(f"edge ({s}, {d}) not present")
+        self._tile_set(s, d, -1)
+        self._num_edges -= 1
+        self.stats.edges_deleted += 1
+
+    def add_vertex(self, value: float = 0.0) -> int:
+        del value
+        # The tile grid is sized by vertex count: growing it shifts the
+        # tiling, which GraphR handles with a re-preprocessing pass
+        # unless the id lands inside the current boundary tile.
+        v = self._num_vertices
+        self._num_vertices += 1
+        self._valid = np.append(self._valid, True)
+        if v % self.TILE == 0:
+            self.stats.repartitions += 1
+        self.stats.vertices_added += 1
+        return v
+
+    def delete_vertex(self, v: int, purge_edges: bool = False) -> int:
+        """Same invalidation strategy as HyVE ("we apply the same
+        strategy for GraphR"); purging additionally clears the vertex's
+        row/column in every dense tile image."""
+        if not (0 <= v < self._num_vertices and self._valid[v]):
+            raise DynamicGraphError(f"vertex {v} not present")
+        self._valid[v] = False
+        removed = 0
+        if purge_edges:
+            t = self.TILE
+            row, col = v // t, v % t
+            keys = (
+                self._row_index.get(row, set())
+                | self._col_index.get(row, set())
+            )
+            for key in keys:
+                tile = self._tiles[key]
+                if key[0] == row:
+                    removed += int(tile[0, col, :].sum())
+                    tile[:, col, :] = 0
+                if key[1] == row:
+                    removed += int(tile[0, :, col].sum())
+                    tile[:, :, col] = 0
+                self._tiles[key] = tile.copy()
+            self._num_edges -= removed
+            self.stats.edges_deleted += removed
+        self.stats.vertices_deleted += 1
+        return removed

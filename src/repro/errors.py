@@ -1,0 +1,31 @@
+"""Exception hierarchy for the HyVE reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph data (out-of-range vertex ids, negative counts...)."""
+
+
+class PartitionError(ReproError):
+    """Invalid partitioning request (e.g. zero intervals)."""
+
+
+class ConfigError(ReproError):
+    """Invalid architecture or device configuration."""
+
+
+class MemoryModelError(ReproError):
+    """Device model cannot satisfy the requested operating point."""
+
+
+class DynamicGraphError(ReproError):
+    """Invalid dynamic-graph update (unknown edge, deleted vertex...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration cap."""

@@ -1,0 +1,84 @@
+"""Experiment drivers: one module per table/figure of the evaluation."""
+
+from . import (
+    ablations,
+    headline,
+    sensitivity,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .common import (
+    ALL_ALGORITHM_FACTORIES,
+    CORE_ALGORITHM_FACTORIES,
+    ExperimentResult,
+    RESULTS_DIR,
+    workloads,
+)
+
+#: Every experiment driver, keyed by id, in the paper's order.
+ALL_EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "table3": table3.run,
+    "fig13": fig13.run,
+    "table4": table4.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig19": fig19.run,
+    "fig20": fig20.run,
+    "fig21": fig21.run,
+    "ablation_interleaving": ablations.run_interleaving,
+    "ablation_bpg_timeout": ablations.run_bpg_timeout,
+    "ablation_pu_count": ablations.run_pu_count,
+    "ablation_execution_model": ablations.run_execution_model,
+    "ablation_density": ablations.run_density,
+    "ablation_init_cost": ablations.run_init_cost,
+    "ablation_placement": ablations.run_placement,
+    "headline": headline.run,
+    "sensitivity": sensitivity.run,
+}
+
+
+def run_all(save: bool = True) -> dict[str, ExperimentResult]:
+    """Run every experiment; optionally save text + CSV under results/."""
+    out: dict[str, ExperimentResult] = {}
+    for name, runner in ALL_EXPERIMENTS.items():
+        result = runner()
+        if save:
+            result.save()
+            result.save_csv()
+        out[name] = result
+    return out
+
+
+__all__ = [
+    "ALL_ALGORITHM_FACTORIES",
+    "ALL_EXPERIMENTS",
+    "CORE_ALGORITHM_FACTORIES",
+    "ExperimentResult",
+    "RESULTS_DIR",
+    "run_all",
+    "workloads",
+]

@@ -1,0 +1,262 @@
+"""Ablation studies of HyVE's design choices (beyond the paper's figures).
+
+DESIGN.md calls out three decisions worth ablating:
+
+* **Sub-bank vs bank interleaving** — bank interleaving keeps every bank
+  active, defeating BPG entirely (Section 3.1's argument for sub-bank
+  interleaving).
+* **BPG idle-timeout** — too short risks thrashing on irregular streams,
+  too long leaves banks burning standby power.
+* **Processing-unit count N** — the super block is N x N; more PUs share
+  more intervals but synchronise more often and need more SRAM.
+"""
+
+from __future__ import annotations
+
+
+from ..algorithms import BFS, ConnectedComponents, PageRank
+from ..algorithms.runner import run_cached
+from ..algorithms.vertex_centric import run_vertex_centric
+from ..arch.config import HyVEConfig
+from ..arch.machine import AcceleratorMachine
+from ..memory.powergate import PowerGatingPolicy
+from ..memory.reram import ReRAMConfig
+from ..units import US
+from .common import ExperimentResult, workloads
+
+
+def run_execution_model() -> ExperimentResult:
+    """Edge-centric vs vertex-centric edge-memory traffic (Section 2.1).
+
+    Vertex-centric examines only the frontier's out-edges (a large
+    saving on traversals) but turns the edge stream into random CSR-row
+    accesses; the edge-memory energy comparison below prices both on
+    the ReRAM edge memory and shows why HyVE streams sequentially.
+    """
+    from ..memory.base import AccessKind, AccessPattern
+    from ..memory.reram import ReRAMChip
+
+    result = ExperimentResult(
+        experiment="ablation_execution_model",
+        title="Edge-centric vs vertex-centric edge traffic and "
+              "edge-memory energy",
+        headers=[
+            "Algorithm",
+            "Dataset",
+            "Edges examined (VC/EC)",
+            "Edge-memory energy (VC/EC)",
+        ],
+        notes=(
+            "vertex-centric saves traversal edges but pays the random "
+            "ReRAM access premium per CSR row"
+        ),
+    )
+    chip = ReRAMChip()
+    seq = chip.access_cost(AccessKind.READ, AccessPattern.SEQUENTIAL)
+    rnd = chip.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+    for name, factory in (("BFS", BFS), ("CC", ConnectedComponents),
+                          ("PR", PageRank)):
+        for dataset, workload in workloads().items():
+            ec = run_cached(factory(), workload.graph)
+            vc = run_vertex_centric(factory(), workload.graph)
+            edge_ratio = vc.edges_examined / max(ec.total_edges, 1)
+            # Edge-centric: one sequential 512-bit access per 8 edges.
+            ec_energy = ec.total_edges * ec.edge_bits / 512 * seq.energy
+            # Vertex-centric: one random access per active vertex's CSR
+            # row (row rarely exceeds one 512-bit line) amortised over
+            # its edges.
+            vc_energy = vc.vertices_scanned * rnd.energy + (
+                max(vc.edges_examined - vc.vertices_scanned, 0)
+                * ec.edge_bits / 512 * seq.energy
+            )
+            result.add(name, dataset, edge_ratio, vc_energy / ec_energy)
+    return result
+
+
+def run_interleaving() -> ExperimentResult:
+    """Sub-bank vs bank interleaving of the edge memory (PR)."""
+    result = ExperimentResult(
+        experiment="ablation_interleaving",
+        title="Edge-memory interleaving: sub-bank (HyVE) vs bank",
+        headers=["Dataset", "Sub-bank MTEPS/W", "Bank MTEPS/W",
+                 "Improvement"],
+        notes="bank interleaving keeps all banks awake: BPG cannot gate",
+    )
+    subbank = AcceleratorMachine(HyVEConfig(label="subbank"))
+    bank = AcceleratorMachine(
+        HyVEConfig(
+            label="bank",
+            reram=ReRAMConfig(subbank_interleaving=False),
+        )
+    )
+    for dataset, workload in workloads().items():
+        a = subbank.run(PageRank(), workload).report.mteps_per_watt
+        b = bank.run(PageRank(), workload).report.mteps_per_watt
+        result.add(dataset, a, b, a / b)
+    return result
+
+
+def run_bpg_timeout(
+    timeouts_us: tuple[float, ...] = (0.1, 0.5, 1.0, 5.0, 20.0, 100.0),
+) -> ExperimentResult:
+    """BPG idle-timeout sweep (PR)."""
+    result = ExperimentResult(
+        experiment="ablation_bpg_timeout",
+        title="BPG idle-timeout sweep (MTEPS/W, PR)",
+        headers=["Dataset"] + [f"{t:g} us" for t in timeouts_us],
+        notes="longer timeouts keep more banks powered after their use",
+    )
+    machines = [
+        AcceleratorMachine(
+            HyVEConfig(
+                label=f"bpg-{t}",
+                power_gating=PowerGatingPolicy(idle_timeout=t * US),
+            )
+        )
+        for t in timeouts_us
+    ]
+    for dataset, workload in workloads().items():
+        result.add(
+            dataset,
+            *[
+                m.run(PageRank(), workload).report.mteps_per_watt
+                for m in machines
+            ],
+        )
+    return result
+
+
+def run_placement() -> ExperimentResult:
+    """Hash-based vs natural vertex placement (Section 4.3).
+
+    Natural (index-order) placement lets community structure pile edges
+    onto some PUs; hash placement spreads them, shrinking the per-step
+    synchronisation imbalance and the execution time.
+    """
+    result = ExperimentResult(
+        experiment="ablation_placement",
+        title="Vertex placement: hash-based (HyVE) vs natural order (PR)",
+        headers=[
+            "Dataset",
+            "Hash imbalance",
+            "Natural imbalance",
+            "Hash MTEPS/W",
+            "Natural MTEPS/W",
+        ],
+        notes="imbalance = max-PU over mean-PU edges per step (1 = ideal)",
+    )
+    hashed_machine = AcceleratorMachine(HyVEConfig(label="hash"))
+    natural_machine = AcceleratorMachine(
+        HyVEConfig(label="natural", hash_placement=False)
+    )
+    for dataset, workload in workloads().items():
+        hashed_counts = hashed_machine.run_counts(PageRank(), workload)
+        natural_counts = natural_machine.run_counts(PageRank(), workload)
+        result.add(
+            dataset,
+            hashed_counts.imbalance,
+            natural_counts.imbalance,
+            hashed_machine.run(PageRank(), workload).report.mteps_per_watt,
+            natural_machine.run(PageRank(), workload).report.mteps_per_watt,
+        )
+    return result
+
+
+def run_init_cost() -> ExperimentResult:
+    """One-shot initialisation vs execution (the Section 3.1 claim).
+
+    "Limited write bandwidth of ReRAM will not cause an obvious delay
+    since the data write only occurs during initialization."
+    """
+    from ..arch.initialization import init_vs_execution
+
+    result = ExperimentResult(
+        experiment="ablation_init_cost",
+        title="One-shot memory-image write vs execution (PR)",
+        headers=[
+            "Dataset",
+            "Write time (ms)",
+            "Execution time (ms)",
+            "Write / execution",
+            "Write energy share",
+        ],
+        notes=(
+            "the ReRAM write penalty is paid once and amortises over "
+            "every subsequent run"
+        ),
+    )
+    for dataset, workload in workloads().items():
+        ratios = init_vs_execution(PageRank(), workload)
+        result.add(
+            dataset,
+            ratios["init_write_time_s"] * 1e3,
+            ratios["execution_time_s"] * 1e3,
+            ratios["write_over_execution"],
+            ratios["write_energy_over_execution"],
+        )
+    return result
+
+
+def run_density(
+    densities_gbit: tuple[int, ...] = (4, 8, 16),
+) -> ExperimentResult:
+    """Chip-density sweep: denser chips, longer lines, more refresh (PR)."""
+    from ..memory.dram import DRAMConfig
+    from ..units import GBIT
+
+    result = ExperimentResult(
+        experiment="ablation_density",
+        title="Chip density sweep (MTEPS/W, PR)",
+        headers=["Dataset"] + [f"{d} Gb" for d in densities_gbit],
+        notes=(
+            "denser chips trade per-access energy and refresh power for "
+            "fewer chips; HyVE's efficiency is density-robust"
+        ),
+    )
+    machines = [
+        AcceleratorMachine(
+            HyVEConfig(
+                label=f"d{d}",
+                reram=ReRAMConfig(density_bits=d * GBIT),
+                dram=DRAMConfig(density_bits=d * GBIT),
+            )
+        )
+        for d in densities_gbit
+    ]
+    for dataset, workload in workloads().items():
+        result.add(
+            dataset,
+            *[
+                m.run(PageRank(), workload).report.mteps_per_watt
+                for m in machines
+            ],
+        )
+    return result
+
+
+def run_pu_count(
+    counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> ExperimentResult:
+    """Processing-unit count sweep (PR)."""
+    result = ExperimentResult(
+        experiment="ablation_pu_count",
+        title="Processing-unit count sweep (MTEPS/W, PR)",
+        headers=["Dataset"] + [f"N={n}" for n in counts],
+        notes=(
+            "more PUs shrink per-iteration interval loads (P/N) but add "
+            "SRAM banks, leakage and synchronisation"
+        ),
+    )
+    machines = [
+        AcceleratorMachine(HyVEConfig(label=f"n{n}", num_pus=n))
+        for n in counts
+    ]
+    for dataset, workload in workloads().items():
+        result.add(
+            dataset,
+            *[
+                m.run(PageRank(), workload).report.mteps_per_watt
+                for m in machines
+            ],
+        )
+    return result

@@ -1,0 +1,27 @@
+"""Fig. 9: normalised DRAM/ReRAM delay, energy and EDP per access mix."""
+
+from __future__ import annotations
+
+from ..model.edge_storage import compare_edge_storage
+from .common import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig09",
+        title=(
+            "Normalized performance (DRAM/ReRAM) for sequential access "
+            "mixes, 4-16 Gb chips"
+        ),
+        headers=["Workload", "Density (Gb)", "Delay", "Energy", "EDP"],
+        notes=">1 means ReRAM is better on that metric",
+    )
+    for row in compare_edge_storage():
+        result.add(
+            row.workload,
+            row.density_gbit,
+            row.delay_ratio,
+            row.energy_ratio,
+            row.edp_ratio,
+        )
+    return result

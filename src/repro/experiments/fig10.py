@@ -1,0 +1,26 @@
+"""Fig. 10: DRAM/ReRAM EDP as the global vertex memory, HyVE vs GraphR."""
+
+from __future__ import annotations
+
+from ..algorithms import PageRank
+from ..model.vertex_storage import compare_global_vertex_memory
+from .common import ExperimentResult, workloads
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig10",
+        title=(
+            "Normalized EDP (DRAM/ReRAM) of the global vertex memory "
+            "under HyVE's and GraphR's partitioning"
+        ),
+        headers=["Architecture", "Dataset", "Density (Gb)", "EDP ratio"],
+        notes=(
+            ">1: ReRAM is the better global vertex memory (GraphR's "
+            "read-dominated traffic); <1: DRAM wins (HyVE's mix)"
+        ),
+    )
+    for row in compare_global_vertex_memory(PageRank(), workloads()):
+        result.add(row.architecture, row.dataset, row.density_gbit,
+                   row.edp_ratio)
+    return result

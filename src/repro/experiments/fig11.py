@@ -1,0 +1,45 @@
+"""Fig. 11: GraphR/HyVE whole-vertex-storage comparison."""
+
+from __future__ import annotations
+
+from ..algorithms import PageRank
+from ..model.vertex_storage import compare_vertex_storage
+from .common import ExperimentResult, workloads
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig11",
+        title=(
+            "Vertex storage comparison GraphR/HyVE: operation counts and "
+            "delay/energy/EDP with DRAM or ReRAM global memory"
+        ),
+        headers=[
+            "Dataset",
+            "Read count",
+            "Write count",
+            "DRAM delay",
+            "DRAM energy",
+            "DRAM EDP",
+            "ReRAM delay",
+            "ReRAM energy",
+            "ReRAM EDP",
+        ],
+        notes=(
+            ">1 means HyVE's SRAM+interval scheme beats GraphR's "
+            "register-file+8x8-block scheme"
+        ),
+    )
+    for row in compare_vertex_storage(PageRank(), workloads()):
+        result.add(
+            row.dataset,
+            row.read_ratio,
+            row.write_ratio,
+            row.dram_delay_ratio,
+            row.dram_energy_ratio,
+            row.dram_edp_ratio,
+            row.reram_delay_ratio,
+            row.reram_energy_ratio,
+            row.reram_edp_ratio,
+        )
+    return result

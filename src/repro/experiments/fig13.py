@@ -1,0 +1,40 @@
+"""Fig. 13: energy efficiency with 1/2/3-bit ReRAM cells (SLC vs MLC)."""
+
+from __future__ import annotations
+
+from ..arch.config import HyVEConfig
+from ..arch.machine import AcceleratorMachine
+from ..memory.nvsim import ReRAMCellParams
+from ..memory.reram import ReRAMConfig
+from .common import ExperimentResult, workloads
+
+CELL_BITS = (1, 2, 3)
+
+
+def efficiency(dataset: str, cell_bits: int) -> float:
+    """MTEPS/W of the optimised HyVE running PR with the given cell."""
+    from ..algorithms import PageRank
+
+    config = HyVEConfig(
+        label=f"hyve-{cell_bits}bit",
+        reram=ReRAMConfig(cell=ReRAMCellParams(cell_bits=cell_bits)),
+    )
+    machine = AcceleratorMachine(config)
+    return machine.run(
+        PageRank(), workloads()[dataset]
+    ).report.mteps_per_watt
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Energy efficiency (MTEPS/W) using different ReRAM cells",
+        headers=["Dataset"] + [f"{b} bit(s)" for b in CELL_BITS],
+        notes=(
+            "MLC parallel sensing needs 2^b - 1 reference comparisons, "
+            "so SLC wins despite the density advantage (Section 7.2.1)"
+        ),
+    )
+    for key in workloads():
+        result.add(key, *[efficiency(key, b) for b in CELL_BITS])
+    return result

@@ -1,0 +1,37 @@
+"""Fig. 15: energy-efficiency improvement from bank-level power gating."""
+
+from __future__ import annotations
+
+from ..arch.config import HyVEConfig
+from ..arch.machine import AcceleratorMachine
+from ..memory.powergate import PowerGatingPolicy
+from .common import CORE_ALGORITHM_FACTORIES, ExperimentResult, geomean, workloads
+
+#: The paper's overall average improvement.
+PAPER_AVERAGE = 1.53
+
+
+def improvement(algorithm_name: str, dataset: str) -> float:
+    """PG-on over PG-off efficiency (acc+HyVE-opt vs acc+HyVE)."""
+    algorithm = CORE_ALGORITHM_FACTORIES[algorithm_name]
+    workload = workloads()[dataset]
+    with_pg = AcceleratorMachine(
+        HyVEConfig(label="pg")
+    ).run(algorithm(), workload).report.mteps_per_watt
+    without = AcceleratorMachine(
+        HyVEConfig(label="no-pg", power_gating=PowerGatingPolicy(enabled=False))
+    ).run(algorithm(), workload).report.mteps_per_watt
+    return with_pg / without
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig15",
+        title="Energy efficiency improvement by adopting power-gating",
+        headers=["Algorithm"] + list(workloads()) + ["Geomean"],
+        notes=f"paper average: {PAPER_AVERAGE}x",
+    )
+    for algo in CORE_ALGORITHM_FACTORIES:
+        ratios = [improvement(algo, dataset) for dataset in workloads()]
+        result.add(algo, *ratios, geomean(ratios))
+    return result

@@ -1,0 +1,63 @@
+"""Fig. 16: energy efficiency across all machine configurations."""
+
+from __future__ import annotations
+
+from ..arch.cpu import CPU_DRAM, CPU_DRAM_OPT, CPUMachine
+from ..arch.machine import make_machine
+from .common import CORE_ALGORITHM_FACTORIES, ExperimentResult, geomean, workloads
+
+#: Machine labels in the figure's legend order.
+MACHINE_ORDER = (
+    "CPU+DRAM",
+    "CPU+DRAM-opt",
+    "acc+DRAM",
+    "acc+ReRAM",
+    "acc+SRAM+DRAM",
+    "acc+HyVE",
+    "acc+HyVE-opt",
+)
+
+#: The paper's average improvement of acc+HyVE-opt over each baseline.
+PAPER_OPT_RATIOS = {
+    "CPU+DRAM": 145.71,
+    "acc+DRAM": 5.90,
+    "acc+ReRAM": 4.54,
+    "acc+SRAM+DRAM": 2.00,
+}
+
+
+def build_machine(name: str):
+    if name == "CPU+DRAM":
+        return CPUMachine(CPU_DRAM)
+    if name == "CPU+DRAM-opt":
+        return CPUMachine(CPU_DRAM_OPT)
+    return make_machine(name)
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig16",
+        title="Energy efficiency (MTEPS/W) comparison between HyVE and "
+              "other configurations",
+        headers=["Algorithm", "Dataset"] + list(MACHINE_ORDER),
+    )
+    machines = {name: build_machine(name) for name in MACHINE_ORDER}
+    for algo_name, factory in CORE_ALGORITHM_FACTORIES.items():
+        for dataset, workload in workloads().items():
+            row: list = [algo_name, dataset]
+            for name in MACHINE_ORDER:
+                report = machines[name].run(factory(), workload).report
+                row.append(report.mteps_per_watt)
+            result.rows.append(row)
+    return result
+
+
+def opt_ratios(result: ExperimentResult | None = None) -> dict[str, float]:
+    """Geomean improvement of acc+HyVE-opt over each other machine."""
+    result = result or run()
+    opt = result.column("acc+HyVE-opt")
+    ratios = {}
+    for name in MACHINE_ORDER[:-1]:
+        other = result.column(name)
+        ratios[name] = geomean([a / b for a, b in zip(opt, other)])
+    return ratios

@@ -1,0 +1,53 @@
+"""Fig. 18: absolute performance — execution time SD / HyVE."""
+
+from __future__ import annotations
+
+from ..arch.config import HyVEConfig, MemoryTechnology
+from ..arch.machine import AcceleratorMachine
+from ..memory.powergate import PowerGatingPolicy
+from .common import CORE_ALGORITHM_FACTORIES, ExperimentResult, geomean, workloads
+
+#: The paper's per-algorithm geometric-mean slowdowns (1.9/2.5/15.1%).
+PAPER_SLOWDOWN_PCT = {"BFS": 1.9, "CC": 2.5, "PR": 15.1}
+
+
+def time_ratio(algorithm_name: str, dataset: str) -> float:
+    """Execution time of acc+SRAM+DRAM over acc+HyVE (< 1: HyVE slower)."""
+    factory = CORE_ALGORITHM_FACTORIES[algorithm_name]
+    workload = workloads()[dataset]
+    sd = AcceleratorMachine(
+        HyVEConfig(
+            label="SD",
+            edge_memory=MemoryTechnology.DRAM,
+            power_gating=PowerGatingPolicy(enabled=False),
+        )
+    ).run(factory(), workload).report.time
+    hyve = AcceleratorMachine(
+        HyVEConfig(label="HyVE", power_gating=PowerGatingPolicy(enabled=False))
+    ).run(factory(), workload).report.time
+    return sd / hyve
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig18",
+        title="Execution time comparison between SD and HyVE (SD/HyVE)",
+        headers=["Algorithm"] + list(workloads())
+        + ["Geomean", "Slowdown %", "Paper slowdown %"],
+        notes=(
+            "HyVE's ReRAM streams slightly slower than DRAM, so the "
+            "ratio sits just below 1; the energy win costs a few percent "
+            "of performance"
+        ),
+    )
+    for algo in CORE_ALGORITHM_FACTORIES:
+        ratios = [time_ratio(algo, dataset) for dataset in workloads()]
+        mean = geomean(ratios)
+        result.add(
+            algo,
+            *ratios,
+            mean,
+            100.0 * (1.0 / mean - 1.0),
+            PAPER_SLOWDOWN_PCT[algo],
+        )
+    return result

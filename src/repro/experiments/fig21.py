@@ -1,0 +1,47 @@
+"""Fig. 21: overall GraphR vs HyVE — delay, energy and EDP ratios."""
+
+from __future__ import annotations
+
+from ..arch.graphr import GraphRMachine
+from ..arch.machine import make_machine
+from .common import ALL_ALGORITHM_FACTORIES, ExperimentResult, geomean, workloads
+
+#: The paper's averages: 5.12x faster, 2.83x less energy, 17.63x EDP.
+PAPER = {"delay": 5.12, "energy": 2.83, "edp": 17.63}
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig21",
+        title="Performance comparison between GraphR and HyVE "
+              "(GraphR/HyVE)",
+        headers=["Algorithm", "Dataset", "Delay", "Energy", "EDP"],
+        notes=(
+            "writing each block's edges into a crossbar before the "
+            "analog operation is what costs GraphR its advantage"
+        ),
+    )
+    graphr = GraphRMachine()
+    hyve = make_machine("acc+HyVE-opt")
+    for algo_name, factory in ALL_ALGORITHM_FACTORIES.items():
+        for dataset, workload in workloads().items():
+            g = graphr.run(factory(), workload).report
+            h = hyve.run(factory(), workload).report
+            result.add(
+                algo_name,
+                dataset,
+                g.time / h.time,
+                g.total_energy / h.total_energy,
+                g.edp / h.edp,
+            )
+    return result
+
+
+def averages(result: ExperimentResult | None = None) -> dict[str, float]:
+    """Geomean ratios across all (algorithm, dataset) pairs."""
+    result = result or run()
+    return {
+        "delay": geomean(result.column("Delay")),
+        "energy": geomean(result.column("Energy")),
+        "edp": geomean(result.column("EDP")),
+    }

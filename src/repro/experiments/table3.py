@@ -1,0 +1,28 @@
+"""Table 3: ReRAM bank power under different configurations."""
+
+from __future__ import annotations
+
+from ..memory.nvsim import table3
+from .common import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="table3",
+        title="Power consumption under different bank configurations",
+        headers=["Target", "Output bits", "Energy (pJ)", "Period (ps)",
+                 "Power/bit (mW/bit)"],
+        notes=(
+            "energy-optimised 512-bit output minimises power per bit and "
+            "is the design point used for the edge memory"
+        ),
+    )
+    for row in table3():
+        result.add(
+            f"{row['target']}-optimized",
+            row["output_bits"],
+            row["energy_pj"],
+            row["period_ps"],
+            row["mw_per_bit"],
+        )
+    return result

@@ -1,0 +1,75 @@
+"""Graph substrate: containers, generators, partitioning, statistics."""
+
+from .graph import (
+    EDGE_BITS,
+    VERTEX_ID_BITS,
+    WEIGHTED_EDGE_BITS,
+    Graph,
+)
+from .generators import (
+    complete,
+    cycle,
+    erdos_renyi,
+    grid_2d,
+    path,
+    random_weights,
+    rmat,
+    star,
+)
+from .datasets import DATASET_ORDER, DATASETS, DatasetSpec, load, load_all
+from .partition import IntervalBlockPartition, interval_bounds, interval_of
+from .hash_partition import HashPlacement, hash_partition, imbalance
+from .stats import (
+    CROSSBAR_DIM,
+    GraphShape,
+    average_edges_per_nonempty_block,
+    block_occupancy_histogram,
+    nonempty_block_count,
+    skew_gini,
+)
+from .utilities import (
+    compact,
+    filter_by_degree,
+    induced_subgraph,
+    largest_component,
+    merge,
+)
+from . import io
+
+__all__ = [
+    "EDGE_BITS",
+    "VERTEX_ID_BITS",
+    "WEIGHTED_EDGE_BITS",
+    "Graph",
+    "complete",
+    "cycle",
+    "erdos_renyi",
+    "grid_2d",
+    "path",
+    "random_weights",
+    "rmat",
+    "star",
+    "DATASET_ORDER",
+    "DATASETS",
+    "DatasetSpec",
+    "load",
+    "load_all",
+    "IntervalBlockPartition",
+    "interval_bounds",
+    "interval_of",
+    "HashPlacement",
+    "hash_partition",
+    "imbalance",
+    "CROSSBAR_DIM",
+    "GraphShape",
+    "average_edges_per_nonempty_block",
+    "block_occupancy_histogram",
+    "nonempty_block_count",
+    "skew_gini",
+    "compact",
+    "filter_by_degree",
+    "induced_subgraph",
+    "largest_component",
+    "merge",
+    "io",
+]

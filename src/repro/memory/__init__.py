@@ -1,0 +1,86 @@
+"""Memory device models: ReRAM, DRAM, SRAM, register files, power gating."""
+
+from .area import (
+    AreaEstimate,
+    FEATURE_SIZE_M,
+    POWER_GATE_BANK_OVERHEAD,
+    density_ratio,
+    memory_area,
+)
+from .base import (
+    AccessCost,
+    AccessKind,
+    AccessPattern,
+    DeviceTimings,
+    MemoryDevice,
+    MemoryStats,
+    TimingsDevice,
+)
+from .nvsim import (
+    BankOperatingPoint,
+    NvSimLite,
+    OptimizationTarget,
+    ReRAMCellParams,
+    SRAMOperatingPoint,
+    TABLE3_CALIBRATION,
+    best_energy_point,
+    solve_sram,
+    table3,
+)
+from .reram import RANDOM_READ_LATENCY, ReRAMChip, ReRAMConfig
+from .dram import DDR4Chip, DDR4Currents, DDR4Timings, DRAMConfig
+from .sram import OnChipSRAM
+from .regfile import RegisterFile
+from .powergate import BankPowerGating, GatingReport, PowerGatingPolicy
+from .controller import (
+    BLOCK_HEADER_WORDS,
+    DEFAULT_BLOCK_SLACK,
+    DEFAULT_INTERVAL_SLACK,
+    Extent,
+    HybridMemoryController,
+    INTERVAL_HEADER_WORDS,
+    MemoryMap,
+)
+
+__all__ = [
+    "AreaEstimate",
+    "FEATURE_SIZE_M",
+    "POWER_GATE_BANK_OVERHEAD",
+    "density_ratio",
+    "memory_area",
+    "AccessCost",
+    "AccessKind",
+    "AccessPattern",
+    "DeviceTimings",
+    "MemoryDevice",
+    "MemoryStats",
+    "TimingsDevice",
+    "BankOperatingPoint",
+    "NvSimLite",
+    "OptimizationTarget",
+    "ReRAMCellParams",
+    "SRAMOperatingPoint",
+    "TABLE3_CALIBRATION",
+    "best_energy_point",
+    "solve_sram",
+    "table3",
+    "RANDOM_READ_LATENCY",
+    "ReRAMChip",
+    "ReRAMConfig",
+    "DDR4Chip",
+    "DDR4Currents",
+    "DDR4Timings",
+    "DRAMConfig",
+    "OnChipSRAM",
+    "RegisterFile",
+    "BankPowerGating",
+    "GatingReport",
+    "PowerGatingPolicy",
+    "BLOCK_HEADER_WORDS",
+    "DEFAULT_BLOCK_SLACK",
+    "DEFAULT_INTERVAL_SLACK",
+    "Extent",
+    "HybridMemoryController",
+    "INTERVAL_HEADER_WORDS",
+    "MemoryMap",
+]

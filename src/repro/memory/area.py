@@ -1,0 +1,127 @@
+"""Silicon-area estimates for the memory devices (22 nm process).
+
+The paper quotes the SRAM cell at 146 F^2 with a 1.31 F access
+transistor (Section 7.1) and notes that ReRAM "improves the area
+efficiency because the refresh mechanism is no longer necessary" and
+that one power gate per bank incurs "little overhead... or low area
+penalty" (Section 4.1).  This module turns those statements into
+numbers: cell-level F^2 footprints scaled by the feature size, with an
+array-efficiency factor for the periphery and an explicit power-gate
+term, so machine-level area comparisons can be made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Feature size of the evaluation's process node (Section 7.1).
+FEATURE_SIZE_M = 22e-9
+
+#: Cell footprints in F^2 (standard figures; SRAM is the paper's).
+SRAM_CELL_F2 = 146.0          # quoted in Section 7.1
+DRAM_CELL_F2 = 6.0            # 1T1C commodity DRAM
+RERAM_CELL_F2 = 4.0           # 1T1R/crosspoint ReRAM — the density win
+
+#: Fraction of the die the cell array occupies (the rest is decoders,
+#: sense amplifiers, I/O).  ReRAM's simpler periphery (no refresh
+#: machinery) buys it a higher efficiency.
+ARRAY_EFFICIENCY = {
+    "sram": 0.65,
+    "dram": 0.55,
+    "reram": 0.60,
+}
+
+#: One power gate (header/footer) per bank costs ~2% of the bank's
+#: area — the "low area penalty" of Section 4.1.
+POWER_GATE_BANK_OVERHEAD = 0.02
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Area of one memory instance."""
+
+    technology: str
+    capacity_bits: float
+    cell_area_m2: float
+    periphery_area_m2: float
+    power_gate_area_m2: float
+
+    @property
+    def total_m2(self) -> float:
+        return (
+            self.cell_area_m2
+            + self.periphery_area_m2
+            + self.power_gate_area_m2
+        )
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_m2 * 1e6
+
+    @property
+    def bits_per_mm2(self) -> float:
+        if self.total_m2 <= 0:
+            raise ConfigError("zero-area estimate")
+        return self.capacity_bits / self.total_mm2
+
+
+def memory_area(
+    technology: str,
+    capacity_bits: float,
+    cell_bits: int = 1,
+    power_gated_banks: int = 0,
+    feature_size_m: float = FEATURE_SIZE_M,
+) -> AreaEstimate:
+    """Estimate the die area of a memory of ``capacity_bits``.
+
+    Args:
+        technology: "sram", "dram" or "reram".
+        capacity_bits: usable storage.
+        cell_bits: bits per cell (ReRAM MLC stores more per cell).
+        power_gated_banks: banks equipped with a BPG gate.
+        feature_size_m: process feature size (default 22 nm).
+    """
+    technology = technology.lower()
+    if technology not in ARRAY_EFFICIENCY:
+        raise ConfigError(f"unknown memory technology {technology!r}")
+    if capacity_bits < 0:
+        raise ConfigError(f"negative capacity: {capacity_bits}")
+    if cell_bits < 1:
+        raise ConfigError(f"cell must store at least one bit: {cell_bits}")
+    if cell_bits > 1 and technology != "reram":
+        raise ConfigError("multi-level cells are a ReRAM feature here")
+
+    cell_f2 = {
+        "sram": SRAM_CELL_F2,
+        "dram": DRAM_CELL_F2,
+        "reram": RERAM_CELL_F2,
+    }[technology]
+    f2 = feature_size_m ** 2
+    cells = capacity_bits / cell_bits
+    cell_area = cells * cell_f2 * f2
+    efficiency = ARRAY_EFFICIENCY[technology]
+    periphery = cell_area * (1.0 - efficiency) / efficiency
+    bank_area = (
+        (cell_area + periphery) / power_gated_banks
+        if power_gated_banks
+        else 0.0
+    )
+    gate_area = power_gated_banks * bank_area * POWER_GATE_BANK_OVERHEAD
+    return AreaEstimate(
+        technology=technology,
+        capacity_bits=capacity_bits,
+        cell_area_m2=cell_area,
+        periphery_area_m2=periphery,
+        power_gate_area_m2=gate_area,
+    )
+
+
+def density_ratio(a: str, b: str) -> float:
+    """Bits/mm^2 of technology ``a`` over technology ``b`` (1 Gb each)."""
+    one_gbit = 2.0 ** 30
+    return (
+        memory_area(a, one_gbit).bits_per_mm2
+        / memory_area(b, one_gbit).bits_per_mm2
+    )

@@ -1,0 +1,204 @@
+"""HyVE hybrid memory controller: address mapping and layout (Section 3.3/3.4).
+
+The controller is the abstraction layer between accelerator logic and
+the three memories.  Its lasting state is the *memory map*: where each
+interval lives in the vertex memories and where each block lives in the
+edge memory, including the per-block slack space that makes dynamic
+edge insertion O(1) (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph.graph import VERTEX_ID_BITS
+from ..graph.partition import IntervalBlockPartition
+
+#: Words of metadata that prefix a serialised block: source interval
+#: index, destination interval index, edge count (Section 3.4).
+BLOCK_HEADER_WORDS = 3
+
+#: Words of metadata that prefix a serialised interval: interval index
+#: and vertex count.
+INTERVAL_HEADER_WORDS = 2
+
+#: Default slack reserved per block for dynamic edge insertion ("e.g.,
+#: 30% of a block size", Section 5).
+DEFAULT_BLOCK_SLACK = 0.30
+
+#: Default slack reserved per interval for dynamic vertex insertion.
+DEFAULT_INTERVAL_SLACK = 0.30
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous region of a memory: [offset, offset + capacity) words,
+    of which the first ``used`` words hold live data."""
+
+    offset: int
+    capacity: int
+    used: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.capacity < 0 or not 0 <= self.used <= self.capacity:
+            raise ConfigError(f"malformed extent: {self}")
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Physical layout of a partitioned graph.
+
+    Offsets and sizes are in 32-bit words, matching the Section 3.4
+    serialisation where every field (index, count, vertex id, value) is
+    one word.
+
+    Attributes:
+        num_intervals: P.
+        block_extents: P*P extents in block-major order, each sized
+            ``header + 2 * edges * (1 + slack)``.
+        interval_extents: P extents, each sized
+            ``header + vertices * (1 + slack)``.
+        edge_words: total edge-memory footprint in words.
+        vertex_words: total vertex-memory footprint in words.
+    """
+
+    num_intervals: int
+    block_extents: tuple[Extent, ...]
+    interval_extents: tuple[Extent, ...]
+    edge_words: int
+    vertex_words: int
+
+    @classmethod
+    def build(
+        cls,
+        partition: IntervalBlockPartition,
+        block_slack: float = DEFAULT_BLOCK_SLACK,
+        interval_slack: float = DEFAULT_INTERVAL_SLACK,
+    ) -> "MemoryMap":
+        if block_slack < 0 or interval_slack < 0:
+            raise ConfigError("slack fractions must be non-negative")
+        p = partition.num_intervals
+        counts = partition.block_counts.ravel()
+        block_extents: list[Extent] = []
+        offset = 0
+        for edges in counts.tolist():
+            used = BLOCK_HEADER_WORDS + 2 * edges
+            capacity = BLOCK_HEADER_WORDS + 2 * int(
+                np.ceil(edges * (1.0 + block_slack))
+            )
+            # Even empty blocks reserve a minimal landing pad so a first
+            # dynamic insertion needs no relocation.
+            capacity = max(capacity, BLOCK_HEADER_WORDS + 2 * 4)
+            block_extents.append(Extent(offset, capacity, used))
+            offset += capacity
+        edge_words = offset
+
+        interval_extents: list[Extent] = []
+        offset = 0
+        for size in partition.interval_sizes().tolist():
+            used = INTERVAL_HEADER_WORDS + size
+            capacity = INTERVAL_HEADER_WORDS + int(
+                np.ceil(size * (1.0 + interval_slack))
+            )
+            capacity = max(capacity, INTERVAL_HEADER_WORDS + 4)
+            interval_extents.append(Extent(offset, capacity, used))
+            offset += capacity
+        vertex_words = offset
+
+        return cls(
+            num_intervals=p,
+            block_extents=tuple(block_extents),
+            interval_extents=tuple(interval_extents),
+            edge_words=edge_words,
+            vertex_words=vertex_words,
+        )
+
+    def block_extent(self, i: int, j: int) -> Extent:
+        p = self.num_intervals
+        if not (0 <= i < p and 0 <= j < p):
+            raise ConfigError(f"block ({i}, {j}) out of range for P={p}")
+        return self.block_extents[i * p + j]
+
+    def interval_extent(self, i: int) -> Extent:
+        if not 0 <= i < self.num_intervals:
+            raise ConfigError(
+                f"interval {i} out of range for P={self.num_intervals}"
+            )
+        return self.interval_extents[i]
+
+    @property
+    def edge_bits(self) -> int:
+        return self.edge_words * VERTEX_ID_BITS
+
+    @property
+    def vertex_bits(self) -> int:
+        return self.vertex_words * VERTEX_ID_BITS
+
+    def slack_ratio(self) -> float:
+        """Overall fraction of edge-memory capacity that is slack."""
+        used = sum(e.used for e in self.block_extents)
+        if self.edge_words == 0:
+            return 0.0
+        return 1.0 - used / self.edge_words
+
+
+class HybridMemoryController:
+    """Address-mapping front end of HyVE (Fig. 4).
+
+    Translates (interval | block) identifiers into extents, tracks which
+    intervals are resident on-chip, and reports when a requested edge
+    stream requires a vertex-scheduling stall (the condition the real
+    controller raises while replacing intervals).
+    """
+
+    def __init__(self, memory_map: MemoryMap) -> None:
+        self.map = memory_map
+        self._resident_src: set[int] = set()
+        self._resident_dst: set[int] = set()
+
+    # --- residency -------------------------------------------------------
+
+    @property
+    def resident_source_intervals(self) -> frozenset[int]:
+        return frozenset(self._resident_src)
+
+    @property
+    def resident_destination_intervals(self) -> frozenset[int]:
+        return frozenset(self._resident_dst)
+
+    def load_source_intervals(self, intervals: list[int]) -> list[int]:
+        """Mark intervals resident; return the ones actually fetched."""
+        fetched = [i for i in intervals if i not in self._resident_src]
+        for i in intervals:
+            self.map.interval_extent(i)  # validates
+        self._resident_src = set(intervals)
+        return fetched
+
+    def load_destination_intervals(self, intervals: list[int]) -> list[int]:
+        fetched = [i for i in intervals if i not in self._resident_dst]
+        for i in intervals:
+            self.map.interval_extent(i)
+        self._resident_dst = set(intervals)
+        return fetched
+
+    def needs_scheduling(self, block: tuple[int, int]) -> bool:
+        """True if streaming ``block`` requires replacing an interval."""
+        i, j = block
+        return i not in self._resident_src or j not in self._resident_dst
+
+    # --- address translation ----------------------------------------------
+
+    def edge_stream_extent(self, i: int, j: int) -> Extent:
+        """Where block (i, j)'s edges live in edge memory."""
+        return self.map.block_extent(i, j)
+
+    def vertex_extent(self, i: int) -> Extent:
+        """Where interval ``i``'s vertex data lives in vertex memory."""
+        return self.map.interval_extent(i)

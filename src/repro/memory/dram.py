@@ -1,0 +1,180 @@
+"""DDR4 DRAM chip model (Micron power-calculator style, Section 7.1).
+
+The paper derives DRAM power from the Micron System Power Calculator
+with a default DDR4 configuration at speed grade -093 (DDR4-2133).  We
+reimplement the calculator's current-based method: dynamic energy per
+operation comes from IDD current deltas times VDD times the operation
+window, and background power from the standby currents plus the refresh
+duty cycle — the term that grows with density and that ReRAM avoids
+entirely (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import GBIT, NS, PJ, US
+from .base import (
+    AccessCost,
+    AccessKind,
+    AccessPattern,
+    DeviceTimings,
+    MemoryDevice,
+)
+
+#: Milliamp/ns datasheet values for a DDR4-2133 (-093 speed grade) part.
+#: Currents are in amps, times in seconds.
+@dataclass(frozen=True)
+class DDR4Currents:
+    vdd: float = 1.2
+    idd0: float = 0.058      # activate-precharge
+    idd2n: float = 0.034     # precharge standby
+    idd3n: float = 0.044     # active standby
+    idd4r: float = 0.140     # burst read
+    idd4w: float = 0.130     # burst write
+    idd5b: float = 0.190     # burst refresh
+
+
+@dataclass(frozen=True)
+class DDR4Timings:
+    """DDR4-2133 analog of the JEDEC timing set (speed grade -093)."""
+
+    tck: float = 0.937 * NS
+    trcd: float = 14.06 * NS
+    tcl: float = 14.06 * NS
+    trp: float = 14.06 * NS
+    tras: float = 33.0 * NS
+    trefi: float = 7.8 * US
+    #: tRFC by density (ns); refresh takes longer on denser chips.
+    trfc_by_density_ns = {4: 260.0, 8: 350.0, 16: 550.0}
+
+    @property
+    def trc(self) -> float:
+        return self.tras + self.trp
+
+    def trfc(self, density_gbit: float) -> float:
+        table = self.trfc_by_density_ns
+        key = min(table, key=lambda d: abs(d - density_gbit))
+        return table[key] * NS
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DDR4 chip configuration.
+
+    ``row_bits`` is the page size: a sequential stream re-activates a row
+    only every ``row_bits / access_bits`` accesses, so activation energy
+    is amortised across row hits.
+    """
+
+    density_bits: int = 4 * GBIT
+    access_bits: int = 512
+    row_bits: int = 8 * 1024
+    currents: DDR4Currents = DDR4Currents()
+    timings: DDR4Timings = DDR4Timings()
+
+    def __post_init__(self) -> None:
+        if self.density_bits <= 0:
+            raise ConfigError(f"density must be positive: {self.density_bits}")
+        if self.row_bits < self.access_bits:
+            raise ConfigError(
+                f"row ({self.row_bits} b) smaller than one access "
+                f"({self.access_bits} b)"
+            )
+
+
+_REFERENCE_DENSITY = 4 * GBIT
+
+
+class DDR4Chip(MemoryDevice):
+    """Current-based DDR4 model exposing the common device interface."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or DRAMConfig()
+        self.access_bits = self.config.access_bits
+        c, t = self.config.currents, self.config.timings
+
+        # One burst moves access_bits in (access_bits / 64) beats at two
+        # beats per clock over a 64-bit channel.
+        beats = self.config.access_bits / 64.0
+        self._burst_time = (beats / 2.0) * t.tck
+
+        self._read_burst_energy = (
+            (c.idd4r - c.idd3n) * c.vdd * self._burst_time
+            + self.config.access_bits * 0.5 * PJ  # I/O + termination
+        )
+        self._write_burst_energy = (
+            (c.idd4w - c.idd3n) * c.vdd * self._burst_time
+            + self.config.access_bits * 0.5 * PJ
+        )
+        # Micron-style activate/precharge energy: IDD0 over tRC minus the
+        # background already accounted in standby.
+        self._act_pre_energy = (
+            c.idd0 * t.trc - (c.idd3n * t.tras + c.idd2n * t.trp)
+        ) * c.vdd
+        self._row_hits_per_row = self.config.row_bits / self.config.access_bits
+
+        density_gbit = self.config.density_bits / GBIT
+        scale = (self.config.density_bits / _REFERENCE_DENSITY) ** 0.1
+        self._read_burst_energy *= scale
+        self._write_burst_energy *= scale
+        self._act_pre_energy *= scale
+
+        refresh_power = (
+            (t.trfc(density_gbit) / t.trefi) * (c.idd5b - c.idd2n) * c.vdd
+        )
+        # Chips in an operating rank sit in active standby (IDD3N) while
+        # the device serves a stream.
+        standby = c.idd3n * c.vdd * (
+            1.0 + 0.15 * max(0.0, (density_gbit / 4.0) - 1.0) ** 0.5
+        )
+        self.standby_power = standby + refresh_power
+        self.refresh_power = refresh_power
+        # DRAM is volatile: gating a bank loses its contents, so the
+        # model offers no power-gated state (gated == powered).
+        self.gated_power = self.standby_power
+
+    def access_cost(
+        self, kind: AccessKind, pattern: AccessPattern
+    ) -> AccessCost:
+        t = self.config.timings
+        burst_energy = (
+            self._read_burst_energy
+            if kind is AccessKind.READ
+            else self._write_burst_energy
+        )
+        if pattern is AccessPattern.SEQUENTIAL:
+            # Row activations amortised over row-buffer hits.
+            energy = burst_energy + self._act_pre_energy / self._row_hits_per_row
+            return AccessCost(self._burst_time, energy)
+        # Random: full activate + column access + precharge each time.
+        latency = t.trcd + t.tcl + self._burst_time
+        return AccessCost(latency, burst_energy + self._act_pre_energy)
+
+    def timings(self) -> DeviceTimings:
+        """Flat operating point (for the Section 6 analytic model)."""
+        seq_r = self.access_cost(AccessKind.READ, AccessPattern.SEQUENTIAL)
+        seq_w = self.access_cost(AccessKind.WRITE, AccessPattern.SEQUENTIAL)
+        rnd_r = self.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+        rnd_w = self.access_cost(AccessKind.WRITE, AccessPattern.RANDOM)
+        return DeviceTimings(
+            access_bits=self.access_bits,
+            read_energy=seq_r.energy,
+            write_energy=seq_w.energy,
+            read_latency=seq_r.latency,
+            write_latency=seq_w.latency,
+            random_read_latency=rnd_r.latency,
+            random_write_latency=rnd_w.latency,
+            random_read_energy=rnd_r.energy,
+            random_write_energy=rnd_w.energy,
+            standby_power=self.standby_power,
+            gated_power=self.gated_power,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DDR4Chip({self.config.density_bits // GBIT} Gb, "
+            f"{self.access_bits}-bit bursts)"
+        )

@@ -1,0 +1,300 @@
+"""NVSim-lite: analytic array-level energy/latency model for ReRAM and SRAM.
+
+The paper derives its ReRAM and SRAM operating points from NVSim [37]
+(and CACTI for the on-chip SRAM), which we cannot run offline.  This
+module substitutes a calibrated analytic model:
+
+* The eight published ReRAM bank operating points (Table 3: energy- and
+  latency-optimised designs at 64/128/256/512-bit output) are embedded
+  as an exact calibration table, so every downstream experiment consumes
+  the very numbers the paper used.
+* Off-table queries (MLC cells per the parallel-sensing scheme of [41],
+  other widths, writes) are answered by a component model — decoder +
+  sense amplifiers + cell read/set + I/O — whose coefficients are fitted
+  to the calibration table and to the paper's quoted cell parameters
+  (0.4 V read voltage, 0.16 uW read power, 10 ns set pulse, 0.6 pJ set
+  energy, 100 kOhm/10 MOhm resistance states).
+* SRAM points are anchored to the paper's quoted 2 MB values (23.84 pJ /
+  960.03 ps read, 24.74 pJ / 557.089 ps write; 1.071 ns cycle at 2 MB,
+  1.808 ns at 4 MB) with power-law capacity scaling fitted to that pair.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import MemoryModelError
+from ..units import MB, MW, NS, PJ, PS, UW
+
+
+class OptimizationTarget(enum.Enum):
+    """NVSim optimisation directions compared in Section 7.2.2."""
+
+    ENERGY = "energy"
+    LATENCY = "latency"
+
+
+@dataclass(frozen=True)
+class ReRAMCellParams:
+    """ReRAM cell parameters (defaults are the paper's, Section 7.1)."""
+
+    read_voltage: float = 0.4            # V
+    set_voltage: float = 0.7             # V
+    read_power: float = 0.16 * UW        # W while sensing one cell
+    set_pulse: float = 10 * NS           # s per set pulse
+    set_energy: float = 0.6 * PJ         # J per cell set
+    on_resistance: float = 100e3         # Ohm at read voltage
+    off_resistance: float = 10e6         # Ohm at read voltage
+    cell_bits: int = 1                   # 1 = SLC, >1 = MLC
+
+    def __post_init__(self) -> None:
+        if self.cell_bits < 1:
+            raise MemoryModelError(
+                f"cell must store at least one bit, got {self.cell_bits}"
+            )
+        if self.off_resistance <= self.on_resistance:
+            raise MemoryModelError(
+                "off resistance must exceed on resistance "
+                f"({self.off_resistance} <= {self.on_resistance})"
+            )
+
+    @property
+    def resistance_ratio(self) -> float:
+        return self.off_resistance / self.on_resistance
+
+    @property
+    def sense_levels(self) -> int:
+        """Reference levels a parallel-sensing MLC read compares against."""
+        return (1 << self.cell_bits) - 1
+
+
+#: Table 3 of the paper: (target, output bits) -> (energy J, period s)
+#: for one SLC ReRAM bank access.
+TABLE3_CALIBRATION: dict[tuple[OptimizationTarget, int], tuple[float, float]] = {
+    (OptimizationTarget.ENERGY, 64): (20.13 * PJ, 1221 * PS),
+    (OptimizationTarget.ENERGY, 128): (33.87 * PJ, 1983 * PS),
+    (OptimizationTarget.ENERGY, 256): (57.31 * PJ, 1983 * PS),
+    (OptimizationTarget.ENERGY, 512): (102.07 * PJ, 1983 * PS),
+    (OptimizationTarget.LATENCY, 64): (381.47 * PJ, 653 * PS),
+    (OptimizationTarget.LATENCY, 128): (378.57 * PJ, 590 * PS),
+    (OptimizationTarget.LATENCY, 256): (382.37 * PJ, 590 * PS),
+    (OptimizationTarget.LATENCY, 512): (660.23 * PJ, 527 * PS),
+}
+
+# Component coefficients fitted to the calibration table (SLC).  The
+# energy-optimised design uses slow low-swing sensing; the
+# latency-optimised one burns a large fixed peripheral cost for speed.
+_FIT = {
+    OptimizationTarget.ENERGY: {
+        "decoder_energy": 8.42 * PJ,      # fixed per access
+        "sense_energy": 0.14 * PJ,        # per sensed cell (SLC)
+        "io_energy": 0.0429 * PJ,         # per output bit
+        "period": 1983 * PS,
+        "narrow_period": 1221 * PS,       # <= 64-bit outputs
+    },
+    OptimizationTarget.LATENCY: {
+        "decoder_energy": 375.0 * PJ,
+        "sense_energy": 0.02 * PJ,
+        "io_energy": 0.01 * PJ,
+        # Outputs beyond 256 bits activate extra subarrays, each adding
+        # a large share of the fast peripheral energy (the 512-bit jump
+        # in Table 3).
+        "subarray_bits": 256,
+        "subarray_energy_factor": 0.76,
+        "period": 590 * PS,
+        "narrow_period": 653 * PS,
+    },
+}
+
+#: Extra latency per additional MLC sense level beyond SLC's single one,
+#: as a fraction of the base period (finer voltage margins slow sensing).
+_MLC_PERIOD_PENALTY = 0.15
+
+
+@dataclass(frozen=True)
+class BankOperatingPoint:
+    """One ReRAM bank design point produced by the solver."""
+
+    target: OptimizationTarget
+    output_bits: int
+    cell_bits: int
+    read_energy: float        # J per bank access
+    read_period: float        # s per bank access (streaming cycle)
+    write_energy: float       # J per bank access
+    write_latency: float      # s per bank access
+    calibrated: bool          # True if taken verbatim from Table 3
+
+    @property
+    def read_power_per_bit(self) -> float:
+        """The mW/bit figure of merit Table 3 reports."""
+        return (self.read_energy / self.read_period) / self.output_bits
+
+    def mw_per_bit(self) -> float:
+        return self.read_power_per_bit / MW
+
+
+class NvSimLite:
+    """Analytic solver for ReRAM bank operating points.
+
+    ``write_verify_rounds`` models set-and-verify programming: each round
+    costs one set pulse of latency and one set energy per written cell.
+    """
+
+    def __init__(
+        self,
+        cell: ReRAMCellParams | None = None,
+        write_verify_rounds: int = 3,
+    ) -> None:
+        if write_verify_rounds < 1:
+            raise MemoryModelError(
+                f"write needs at least one pulse, got {write_verify_rounds}"
+            )
+        self.cell = cell or ReRAMCellParams()
+        self.write_verify_rounds = write_verify_rounds
+
+    def solve(
+        self,
+        output_bits: int,
+        target: OptimizationTarget = OptimizationTarget.ENERGY,
+    ) -> BankOperatingPoint:
+        """Solve for one bank access of ``output_bits`` bits."""
+        if output_bits <= 0:
+            raise MemoryModelError(
+                f"output width must be positive, got {output_bits}"
+            )
+        key = (target, output_bits)
+        calibrated = self.cell.cell_bits == 1 and key in TABLE3_CALIBRATION
+        if calibrated:
+            read_energy, period = TABLE3_CALIBRATION[key]
+        else:
+            read_energy, period = self._analytic_read(output_bits, target)
+        write_energy, write_latency = self._write(output_bits, target)
+        return BankOperatingPoint(
+            target=target,
+            output_bits=output_bits,
+            cell_bits=self.cell.cell_bits,
+            read_energy=read_energy,
+            read_period=period,
+            write_energy=write_energy,
+            write_latency=write_latency,
+            calibrated=calibrated,
+        )
+
+    def _analytic_read(
+        self, output_bits: int, target: OptimizationTarget
+    ) -> tuple[float, float]:
+        fit = _FIT[target]
+        cells = -(-output_bits // self.cell.cell_bits)  # ceil
+        # Parallel MLC sensing replicates the reference comparison
+        # (2^b - 1 levels) in every sense amplifier [41].
+        sense = fit["sense_energy"] * self.cell.sense_levels
+        decoder = fit["decoder_energy"]
+        if "subarray_bits" in fit:
+            extra_subarrays = max(
+                0, -(-output_bits // fit["subarray_bits"]) - 1
+            )
+            decoder *= 1.0 + fit["subarray_energy_factor"] * extra_subarrays
+        energy = decoder + cells * sense + output_bits * fit["io_energy"]
+        period = fit["narrow_period"] if output_bits <= 64 else fit["period"]
+        period *= 1.0 + _MLC_PERIOD_PENALTY * (self.cell.sense_levels - 1)
+        return energy, period
+
+    def _write(
+        self, output_bits: int, target: OptimizationTarget
+    ) -> tuple[float, float]:
+        fit = _FIT[target]
+        cells = -(-output_bits // self.cell.cell_bits)  # ceil
+        energy = (
+            fit["decoder_energy"]
+            + cells * self.cell.set_energy * self.write_verify_rounds
+            + output_bits * fit["io_energy"]
+        )
+        latency = self.cell.set_pulse * self.write_verify_rounds
+        return energy, latency
+
+
+def table3() -> list[dict[str, float | str | int]]:
+    """Regenerate Table 3 rows: energy (pJ), period (ps), power/bit (mW).
+
+    Rows are ordered as in the paper: energy-optimised 64..512 bits, then
+    latency-optimised 64..512 bits.
+    """
+    solver = NvSimLite()
+    rows: list[dict[str, float | str | int]] = []
+    for target in (OptimizationTarget.ENERGY, OptimizationTarget.LATENCY):
+        for bits in (64, 128, 256, 512):
+            point = solver.solve(bits, target)
+            rows.append({
+                "target": target.value,
+                "output_bits": bits,
+                "energy_pj": point.read_energy / PJ,
+                "period_ps": point.read_period / PS,
+                "mw_per_bit": point.mw_per_bit(),
+            })
+    return rows
+
+
+def best_energy_point() -> BankOperatingPoint:
+    """The operating point the paper selects (Section 7.2.2).
+
+    The energy-optimised 512-bit design minimises power per bit
+    (0.10 mW/bit) and is used for the edge memory in all later
+    experiments.
+    """
+    return NvSimLite().solve(512, OptimizationTarget.ENERGY)
+
+
+# --- SRAM model (CACTI substitute) ---------------------------------------
+
+#: Anchor: the paper's 2 MB SRAM operating point for 32-bit accesses.
+_SRAM_ANCHOR_CAPACITY = 2 * MB
+_SRAM_ANCHOR = {
+    "read_energy": 23.84 * PJ,
+    "read_latency": 960.03 * PS,
+    "write_energy": 24.74 * PJ,
+    "write_latency": 557.089 * PS,
+}
+#: Cycle-time anchors the paper quotes: 1.071 ns at 2 MB, 1.808 ns at
+#: 4 MB -> latency scales as capacity ** log2(1.808 / 1.071).
+_SRAM_LATENCY_EXPONENT = math.log2(1.808 / 1.071)
+#: Energy grows roughly with wire length ~ sqrt(area) ~ sqrt(capacity).
+_SRAM_ENERGY_EXPONENT = 0.5
+#: Leakage at 22 nm, linear in capacity.
+_SRAM_LEAKAGE_PER_MB = 8 * MW
+
+
+@dataclass(frozen=True)
+class SRAMOperatingPoint:
+    """SRAM design point for 32-bit word accesses."""
+
+    capacity_bits: int
+    read_energy: float
+    read_latency: float
+    write_energy: float
+    write_latency: float
+    leakage_power: float
+
+    @property
+    def capacity_mb(self) -> float:
+        return self.capacity_bits / MB
+
+
+def solve_sram(capacity_bits: int) -> SRAMOperatingPoint:
+    """SRAM operating point for the given capacity (32-bit accesses)."""
+    if capacity_bits <= 0:
+        raise MemoryModelError(
+            f"SRAM capacity must be positive, got {capacity_bits}"
+        )
+    ratio = capacity_bits / _SRAM_ANCHOR_CAPACITY
+    e_scale = ratio ** _SRAM_ENERGY_EXPONENT
+    t_scale = ratio ** _SRAM_LATENCY_EXPONENT
+    return SRAMOperatingPoint(
+        capacity_bits=capacity_bits,
+        read_energy=_SRAM_ANCHOR["read_energy"] * e_scale,
+        read_latency=_SRAM_ANCHOR["read_latency"] * t_scale,
+        write_energy=_SRAM_ANCHOR["write_energy"] * e_scale,
+        write_latency=_SRAM_ANCHOR["write_latency"] * t_scale,
+        leakage_power=_SRAM_LEAKAGE_PER_MB * (capacity_bits / MB),
+    )

@@ -1,0 +1,46 @@
+"""Register-file model (GraphR's local vertex storage, Section 6.3).
+
+GraphR keeps the 8+8 vertices of the active crossbar block in register
+files, which are far faster and cheaper per access than SRAM — but force
+tiny partitions and hence orders of magnitude more global vertex
+traffic.  The per-access numbers are the ones quoted in the paper
+(11.976 ps / 1.227 pJ read, 10.563 ps / 1.209 pJ write for 32 bits).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import KB, MW, PJ, PS
+from .base import AccessCost, AccessKind, AccessPattern, MemoryDevice
+
+READ_ENERGY = 1.227 * PJ
+READ_LATENCY = 11.976 * PS
+WRITE_ENERGY = 1.209 * PJ
+WRITE_LATENCY = 10.563 * PS
+
+#: Leakage per kilobyte of register file at 22 nm.
+_LEAKAGE_PER_KB = 0.1 * MW
+
+
+class RegisterFile(MemoryDevice):
+    """Small register file with 32-bit ports."""
+
+    def __init__(self, capacity_bits: int = 1 * KB) -> None:
+        super().__init__()
+        if capacity_bits <= 0:
+            raise ConfigError(f"capacity must be positive: {capacity_bits}")
+        self.capacity_bits = capacity_bits
+        self.access_bits = 32
+        self.standby_power = _LEAKAGE_PER_KB * (capacity_bits / KB)
+        self.gated_power = 0.0
+
+    def access_cost(
+        self, kind: AccessKind, pattern: AccessPattern
+    ) -> AccessCost:
+        del pattern  # register files are pattern-insensitive
+        if kind is AccessKind.READ:
+            return AccessCost(READ_LATENCY, READ_ENERGY)
+        return AccessCost(WRITE_LATENCY, WRITE_ENERGY)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegisterFile({self.capacity_bits} b)"

@@ -1,0 +1,180 @@
+"""ReRAM main-memory chip model (Section 3.1, Fig. 3).
+
+A chip is a grid of banks, each bank a grid of mats (crossbars).  HyVE's
+edge memory uses *sub-bank* interleaving — mats within one bank are
+interleaved for bandwidth — instead of bank interleaving, so that at any
+time only one bank is busy and the rest can be power-gated (Section 4.1).
+
+Per-access costs come from the NVSim-lite solver (calibrated to the
+paper's Table 3); this class adds chip-level organisation: density
+scaling, bank bookkeeping, random-access penalties, and standby power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..units import GBIT, MW, NS, PJ
+from .base import (
+    AccessCost,
+    AccessKind,
+    AccessPattern,
+    DeviceTimings,
+    MemoryDevice,
+)
+from .nvsim import NvSimLite, OptimizationTarget, ReRAMCellParams
+
+#: Additional latency of a *random* ReRAM array read (full address
+#: decode + wordline charge), matching GraphR's quoted 29.31 ns array
+#: read latency.
+RANDOM_READ_LATENCY = 29.31 * NS
+
+#: Reference density for scaling laws.
+_REFERENCE_DENSITY = 4 * GBIT
+
+#: Peripheral standby power of one bank at the reference density; grows
+#: with the square root of bank capacity (longer global lines, larger
+#: decoders).  ReRAM cells themselves leak nothing (nonvolatile).
+_BANK_STANDBY_AT_REF = 3.5 * MW
+
+#: Residual leakage of a power-gated bank relative to its standby power.
+_GATED_RESIDUAL = 0.02
+
+#: The energy-optimised sense path cannot issue a new access every array
+#: period: low-power sensing integrates across more than one cycle,
+#: limiting streaming throughput.  Effective sequential-read cycle =
+#: array period x this factor.  Calibrated so DRAM keeps its sequential
+#: *latency* edge over ReRAM (Fig. 9) while ReRAM keeps the energy edge,
+#: and so HyVE shows the paper's small slowdown vs acc+SRAM+DRAM
+#: (Fig. 18).
+STREAM_FACTOR = 2.2
+
+
+@dataclass(frozen=True)
+class ReRAMConfig:
+    """Chip-level ReRAM configuration.
+
+    Attributes:
+        density_bits: chip capacity (the paper sweeps 4/8/16 Gb).
+        num_banks: banks per chip (each independently power-gateable).
+        output_bits: bank output width (Table 3 sweeps 64..512).
+        target: NVSim optimisation direction.
+        cell: cell parameters (bits per cell, set energy...).
+        subbank_interleaving: HyVE's scheme — interleave mats within a
+            bank; when False, classic bank interleaving keeps
+            ``num_banks`` banks active and defeats power gating.
+        write_verify_rounds: set-and-verify programming rounds.
+    """
+
+    density_bits: int = 4 * GBIT
+    num_banks: int = 8
+    output_bits: int = 512
+    target: OptimizationTarget = OptimizationTarget.ENERGY
+    cell: ReRAMCellParams = field(default_factory=ReRAMCellParams)
+    subbank_interleaving: bool = True
+    write_verify_rounds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.density_bits <= 0:
+            raise ConfigError(f"density must be positive: {self.density_bits}")
+        if self.num_banks <= 0:
+            raise ConfigError(f"need at least one bank: {self.num_banks}")
+
+    @property
+    def bank_capacity_bits(self) -> int:
+        return self.density_bits // self.num_banks
+
+
+class ReRAMChip(MemoryDevice):
+    """A ReRAM chip assembled from NVSim-lite bank operating points."""
+
+    def __init__(self, config: ReRAMConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or ReRAMConfig()
+        solver = NvSimLite(
+            self.config.cell,
+            write_verify_rounds=self.config.write_verify_rounds,
+        )
+        self.point = solver.solve(self.config.output_bits, self.config.target)
+        self.access_bits = self.config.output_bits
+        # Larger chips have longer global wires; scale access energy
+        # gently with density (NVSim shows a sub-linear trend).
+        self._density_energy_scale = (
+            self.config.density_bits / _REFERENCE_DENSITY
+        ) ** 0.15
+        bank_scale = (
+            self.config.bank_capacity_bits
+            / (_REFERENCE_DENSITY / ReRAMConfig().num_banks)
+        ) ** 0.5
+        self._bank_standby = _BANK_STANDBY_AT_REF * bank_scale
+        self.standby_power = self._bank_standby * self.config.num_banks
+        self.gated_power = self.standby_power * _GATED_RESIDUAL
+
+    # --- derived properties ----------------------------------------------
+
+    @property
+    def num_banks(self) -> int:
+        return self.config.num_banks
+
+    @property
+    def bank_standby_power(self) -> float:
+        """Standby power of a single (un-gated) bank."""
+        return self._bank_standby
+
+    @property
+    def active_banks(self) -> int:
+        """Banks kept busy by a sequential stream.
+
+        Sub-bank interleaving (HyVE) keeps one bank active; classic bank
+        interleaving keeps all of them active.
+        """
+        return 1 if self.config.subbank_interleaving else self.config.num_banks
+
+    def timings(self) -> DeviceTimings:
+        """Flat operating point (for the Section 6 analytic model)."""
+        seq_read = self.access_cost(AccessKind.READ, AccessPattern.SEQUENTIAL)
+        seq_write = self.access_cost(AccessKind.WRITE, AccessPattern.SEQUENTIAL)
+        rnd_read = self.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+        rnd_write = self.access_cost(AccessKind.WRITE, AccessPattern.RANDOM)
+        return DeviceTimings(
+            access_bits=self.access_bits,
+            read_energy=seq_read.energy,
+            write_energy=seq_write.energy,
+            read_latency=seq_read.latency,
+            write_latency=seq_write.latency,
+            random_read_latency=rnd_read.latency,
+            random_write_latency=rnd_write.latency,
+            random_read_energy=rnd_read.energy,
+            random_write_energy=rnd_write.energy,
+            standby_power=self.standby_power,
+            gated_power=self.gated_power,
+        )
+
+    # --- cost model --------------------------------------------------------
+
+    def access_cost(
+        self, kind: AccessKind, pattern: AccessPattern
+    ) -> AccessCost:
+        scale = self._density_energy_scale
+        if kind is AccessKind.READ:
+            energy = self.point.read_energy * scale
+            if pattern is AccessPattern.SEQUENTIAL:
+                return AccessCost(self.point.read_period * STREAM_FACTOR, energy)
+            return AccessCost(RANDOM_READ_LATENCY, energy + 2.0 * PJ)
+        energy = self.point.write_energy * scale
+        if pattern is AccessPattern.SEQUENTIAL:
+            return AccessCost(self.point.write_latency, energy)
+        return AccessCost(
+            self.point.write_latency + RANDOM_READ_LATENCY / 2.0,
+            energy + 2.0 * PJ,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReRAMChip({self.config.density_bits // GBIT} Gb, "
+            f"{self.config.num_banks} banks, "
+            f"{self.config.output_bits}-bit out, "
+            f"{self.config.cell.cell_bits}-bit cells, "
+            f"{self.config.target.value}-optimised)"
+        )

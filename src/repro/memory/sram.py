@@ -1,0 +1,51 @@
+"""On-chip SRAM vertex memory (Section 3.2).
+
+The on-chip vertex memory absorbs all fine-grained random vertex traffic;
+SRAM serves random and sequential accesses at the same cost, which is
+exactly why HyVE places it in front of the off-chip vertex memory.
+Operating points come from the CACTI-substitute in
+:mod:`repro.memory.nvsim` (anchored to the paper's quoted 2 MB values).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import MB
+from .base import AccessCost, AccessKind, AccessPattern, MemoryDevice
+from .nvsim import SRAMOperatingPoint, solve_sram
+
+
+class OnChipSRAM(MemoryDevice):
+    """SRAM scratchpad with 32-bit word access."""
+
+    def __init__(self, capacity_bits: int = 2 * MB) -> None:
+        super().__init__()
+        if capacity_bits <= 0:
+            raise ConfigError(f"capacity must be positive: {capacity_bits}")
+        self.capacity_bits = capacity_bits
+        self.point: SRAMOperatingPoint = solve_sram(capacity_bits)
+        self.access_bits = 32
+        self.standby_power = self.point.leakage_power
+        # SRAM state-retentive sleep saves most but not all leakage; the
+        # vertex memory is never idle long enough to gate in practice.
+        self.gated_power = self.point.leakage_power * 0.25
+
+    def access_cost(
+        self, kind: AccessKind, pattern: AccessPattern
+    ) -> AccessCost:
+        # SRAM cost is pattern-independent.
+        del pattern
+        if kind is AccessKind.READ:
+            return AccessCost(self.point.read_latency, self.point.read_energy)
+        return AccessCost(self.point.write_latency, self.point.write_energy)
+
+    @property
+    def capacity_mb(self) -> float:
+        return self.capacity_bits / MB
+
+    def fits(self, bits: float) -> bool:
+        """Whether ``bits`` of data fit in this scratchpad."""
+        return bits <= self.capacity_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OnChipSRAM({self.capacity_mb:g} MB)"

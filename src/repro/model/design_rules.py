@@ -1,0 +1,94 @@
+"""Section 6.6's design instructions, as checkable predicates.
+
+The paper closes its modelling section with four rules for building
+graph-processing architectures on ReRAMs.  Each function below derives
+one rule from the analytic model and returns whether it holds under
+this reproduction's calibrated devices; :func:`design_rules` bundles
+them (and the test suite asserts all four).
+"""
+
+from __future__ import annotations
+
+from ..graph.datasets import DATASET_ORDER
+from ..graph.stats import average_edges_per_nonempty_block
+from .edge_storage import read_pattern_conclusions
+from .preprocessing import preprocessing_speed_sweep
+from .processing_units import compare_processing_units
+
+
+def rule_edge_storage() -> bool:
+    """Rule 1: for sequential edge reads at scale, DRAM wins latency and
+    ReRAM wins energy efficiency."""
+    conclusions = read_pattern_conclusions()
+    return (
+        conclusions["dram_faster_read"]
+        and conclusions["reram_lower_read_energy"]
+        and conclusions["reram_lower_read_edp"]
+    )
+
+
+def rule_vertex_storage() -> bool:
+    """Rule 2: SRAM for local random vertex access; the DRAM/ReRAM
+    choice for global vertex memory depends on the partition count
+    (the read/write mix)."""
+    from repro.memory.base import AccessKind, AccessPattern
+    from repro.memory.dram import DDR4Chip
+    from repro.memory.reram import ReRAMChip
+    from repro.memory.sram import OnChipSRAM
+
+    sram = OnChipSRAM()
+    dram = DDR4Chip()
+    # SRAM's random access beats main memory's on both axes.
+    sram_cost = sram.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+    dram_cost = dram.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+    sram_wins_local = (
+        sram_cost.energy < dram_cost.energy
+        and sram_cost.latency < dram_cost.latency
+    )
+    # The global choice flips with the read:write ratio: write-heavy
+    # mixes prefer DRAM, read-dominated mixes prefer ReRAM.
+    reram = ReRAMChip()
+
+    def edp(device, reads, writes):
+        r = device.access_cost(AccessKind.READ, AccessPattern.SEQUENTIAL)
+        w = device.access_cost(AccessKind.WRITE, AccessPattern.SEQUENTIAL)
+        time = reads * r.latency + writes * w.latency
+        energy = reads * r.energy + writes * w.energy
+        return time * energy
+
+    few_partitions = edp(dram, 3, 1) < edp(reram, 3, 1)      # DRAM wins
+    many_partitions = edp(dram, 100, 1) > edp(reram, 100, 1)  # ReRAM wins
+    return sram_wins_local and few_partitions and many_partitions
+
+
+def rule_crossbar_parallelism() -> bool:
+    """Rule 3: 8x8 crossbars achieve low parallelism on natural graphs
+    (N_avg 1.2-2.4), so CMOS beats crossbar processing per edge."""
+    for key in DATASET_ORDER:
+        from ..graph.datasets import load
+
+        navg = average_edges_per_nonempty_block(load(key))
+        if not 1.0 <= navg <= 3.0:
+            return False
+        comparison = compare_processing_units(navg)
+        if not (comparison.cmos_wins_energy and comparison.cmos_wins_latency):
+            return False
+    return True
+
+
+def rule_partition_count() -> bool:
+    """Rule 4: dividing graphs past ~32x32 blocks slows preprocessing
+    dramatically."""
+    rows = preprocessing_speed_sweep(5e6)
+    speeds = {r.num_intervals: r.normalized_speed for r in rows}
+    return speeds[32] > 0.85 and speeds[256] < 0.5
+
+
+def design_rules() -> dict[str, bool]:
+    """All four Section 6.6 rules; every value should be True."""
+    return {
+        "edge_storage": rule_edge_storage(),
+        "vertex_storage": rule_vertex_storage(),
+        "crossbar_parallelism": rule_crossbar_parallelism(),
+        "partition_count": rule_partition_count(),
+    }

@@ -1,0 +1,106 @@
+"""Edge-storage technology comparison (Section 6.2, Fig. 9).
+
+For the sequential edge-access patterns of graph processing, compare
+DRAM and ReRAM chips head-to-head on delay, energy and EDP for three
+workload mixes: 100% sequential read, 100% sequential write, and a
+50/50 mix, across chip densities of 4/8/16 Gb.
+
+Fig. 9 plots ``DRAM / ReRAM`` normalised values: > 1 means ReRAM is
+better on that metric; the paper's conclusion is that DRAM wins delay
+while ReRAM wins energy and EDP for the read-dominated edge pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.base import AccessKind, AccessPattern
+from ..memory.dram import DDR4Chip, DRAMConfig
+from ..memory.reram import ReRAMChip, ReRAMConfig
+from ..units import GBIT
+
+#: The density sweep of Fig. 9 (bits per chip).
+DENSITY_SWEEP = (4 * GBIT, 8 * GBIT, 16 * GBIT)
+
+#: Workload mixes of Fig. 9: (label, read fraction).
+WORKLOADS = (
+    ("Sequential Read (100%)", 1.0),
+    ("Sequential Write (100%)", 0.0),
+    ("Sequential Read (50%) + Sequential Write (50%)", 0.5),
+)
+
+
+@dataclass(frozen=True)
+class MixCost:
+    """Per-access delay/energy of a read/write mix on one device."""
+
+    delay: float
+    energy: float
+
+    @property
+    def edp(self) -> float:
+        return self.delay * self.energy
+
+
+def _mix_cost(device, read_fraction: float) -> MixCost:
+    read = device.access_cost(AccessKind.READ, AccessPattern.SEQUENTIAL)
+    write = device.access_cost(AccessKind.WRITE, AccessPattern.SEQUENTIAL)
+    delay = read_fraction * read.latency + (1 - read_fraction) * write.latency
+    energy = read_fraction * read.energy + (1 - read_fraction) * write.energy
+    return MixCost(delay=delay, energy=energy)
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    """One bar group of Fig. 9: a workload mix at one density."""
+
+    workload: str
+    density_bits: int
+    delay_ratio: float       # DRAM / ReRAM
+    energy_ratio: float
+    edp_ratio: float
+
+    @property
+    def density_gbit(self) -> int:
+        return self.density_bits // GBIT
+
+
+def compare_edge_storage(
+    densities: tuple[int, ...] = DENSITY_SWEEP,
+) -> list[Fig9Row]:
+    """Regenerate Fig. 9: normalised DRAM/ReRAM per workload x density."""
+    rows: list[Fig9Row] = []
+    for label, read_fraction in WORKLOADS:
+        for density in densities:
+            dram = DDR4Chip(DRAMConfig(density_bits=density))
+            reram = ReRAMChip(ReRAMConfig(density_bits=density))
+            d = _mix_cost(dram, read_fraction)
+            r = _mix_cost(reram, read_fraction)
+            rows.append(
+                Fig9Row(
+                    workload=label,
+                    density_bits=density,
+                    delay_ratio=d.delay / r.delay,
+                    energy_ratio=d.energy / r.energy,
+                    edp_ratio=d.edp / r.edp,
+                )
+            )
+    return rows
+
+
+def read_pattern_conclusions(rows: list[Fig9Row] | None = None) -> dict[str, bool]:
+    """The Section 6.2 takeaways, as checkable booleans."""
+    rows = rows or compare_edge_storage()
+    reads = [r for r in rows if "Read (100%)" in r.workload]
+    writes = [r for r in rows if "Write (100%)" in r.workload]
+    return {
+        # DRAM is faster for sequential reads (delay ratio < 1)...
+        "dram_faster_read": all(r.delay_ratio < 1.0 for r in reads),
+        # ...but ReRAM wins read energy and EDP (> 1).
+        "reram_lower_read_energy": all(r.energy_ratio > 1.0 for r in reads),
+        "reram_lower_read_edp": all(r.edp_ratio > 1.0 for r in reads),
+        # For pure writes DRAM wins everything.
+        "dram_better_writes": all(
+            r.delay_ratio < 1.0 and r.energy_ratio < 1.0 for r in writes
+        ),
+    }

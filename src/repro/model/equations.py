@@ -1,0 +1,187 @@
+"""The general graph-processing model of Section 6.1 (Equations (1)-(6)).
+
+The model decouples a run into operation counts and per-operation costs:
+
+* ``N^R_e`` edges read (sequential), each triggering one local random
+  vertex read pair, one local random write and one PU operation
+  (Equations (3)-(4));
+* ``N^R_{v,s}`` / ``N^W_{v,s}`` sequential global vertex reads/writes.
+
+Equation (1) bounds execution time (the pipelined middle phase runs at
+the slowest of its four stages); Equation (2) sums energy; Equation (6)
+lower-bounds the energy-delay product via Cauchy-Schwarz — a bound the
+property tests verify against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """Time and energy of one operation."""
+
+    time: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.energy < 0:
+            raise ConfigError(f"operation cost must be non-negative: {self}")
+
+
+@dataclass(frozen=True)
+class ModelCosts:
+    """Per-operation costs of the six terms in Equations (1)-(2).
+
+    Naming follows the paper's subscripts: ``e`` edge access, ``v_s``
+    sequential vertex access, ``v_r`` random vertex access, ``pu``
+    processing an edge; R/W read/write.
+    """
+
+    read_edge: OperationCost            # T^R_e, E^R_e
+    read_vertex_seq: OperationCost      # T^R_{v,s}, E^R_{v,s}
+    write_vertex_seq: OperationCost     # T^W_{v,s}, E^W_{v,s}
+    read_vertex_rand: OperationCost     # T^R_{v,r}, E^R_{v,r}
+    write_vertex_rand: OperationCost    # T^W_{v,r}, E^W_{v,r}
+    process: OperationCost              # T_pu, E_pu
+
+
+@dataclass(frozen=True)
+class ModelCounts:
+    """Operation counts of one run.
+
+    Equations (3)-(4) tie random vertex traffic to the edge count, so
+    only three independent counts remain.
+    """
+
+    edge_reads: float        # N^R_e
+    vertex_seq_reads: float  # N^R_{v,s}
+    vertex_seq_writes: float  # N^W_{v,s}
+
+    def __post_init__(self) -> None:
+        for name in ("edge_reads", "vertex_seq_reads", "vertex_seq_writes"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    @property
+    def vertex_rand_reads(self) -> float:
+        """Equation (3): one random read per edge endpoint pair."""
+        return self.edge_reads
+
+    @property
+    def vertex_rand_writes(self) -> float:
+        """Equation (4): one random write per edge."""
+        return self.edge_reads
+
+
+def execution_time(counts: ModelCounts, costs: ModelCosts) -> float:
+    """Equation (1): total execution time.
+
+    The middle phase (steps 2-5 of Fig. 8) is pipelined; its duration is
+    the edge count times the slowest stage.
+    """
+    pipeline_stage = max(
+        costs.read_vertex_rand.time,
+        costs.read_edge.time,
+        costs.process.time,
+        costs.write_vertex_rand.time,
+    )
+    return (
+        counts.vertex_seq_reads * costs.read_vertex_seq.time
+        + counts.edge_reads * pipeline_stage
+        + counts.vertex_seq_writes * costs.write_vertex_seq.time
+    )
+
+
+def energy(counts: ModelCounts, costs: ModelCosts) -> float:
+    """Equation (2): total (dynamic) energy."""
+    return (
+        counts.vertex_seq_reads * costs.read_vertex_seq.energy
+        + 2.0 * counts.vertex_rand_reads * costs.read_vertex_rand.energy
+        + counts.edge_reads * costs.read_edge.energy
+        + counts.edge_reads * costs.process.energy
+        + counts.vertex_rand_writes * costs.write_vertex_rand.energy
+        + counts.vertex_seq_writes * costs.write_vertex_seq.energy
+    )
+
+
+def edp(counts: ModelCounts, costs: ModelCosts) -> float:
+    """Equation (5): energy-delay product."""
+    return execution_time(counts, costs) * energy(counts, costs)
+
+
+def edp_lower_bound(counts: ModelCounts, costs: ModelCosts) -> float:
+    """Equation (6): the Cauchy-Schwarz lower bound on T * E.
+
+    Six sqrt(T_i * E_i) terms, one per (count, operation) pair, with the
+    paper's coefficients: the pipelined stages contribute a quarter of
+    the edge count each to the time side.
+    """
+    n_e = counts.edge_reads
+    terms = [
+        counts.vertex_seq_reads
+        * math.sqrt(costs.read_vertex_seq.time * costs.read_vertex_seq.energy),
+        (math.sqrt(2.0) / 2.0)
+        * n_e
+        * math.sqrt(costs.read_vertex_rand.time * costs.read_vertex_rand.energy),
+        0.5 * n_e * math.sqrt(costs.read_edge.time * costs.read_edge.energy),
+        0.5 * n_e * math.sqrt(costs.process.time * costs.process.energy),
+        0.5
+        * n_e
+        * math.sqrt(
+            costs.write_vertex_rand.time * costs.write_vertex_rand.energy
+        ),
+        counts.vertex_seq_writes
+        * math.sqrt(
+            costs.write_vertex_seq.time * costs.write_vertex_seq.energy
+        ),
+    ]
+    return sum(terms) ** 2
+
+
+# --- count constructors (Equations (7)-(9)) ---------------------------------
+
+def hyve_counts(
+    num_vertices: float,
+    num_edges: float,
+    num_intervals: int,
+    num_pus: int,
+    iterations: int = 1,
+) -> ModelCounts:
+    """HyVE's per-run counts: Equation (8) for source loads.
+
+    ``N^R_{v,s} = (P / N) * N_v`` per iteration plus the destination
+    loads, ``N^W_{v,s} = N_v`` (Equation (7)).
+    """
+    if num_intervals <= 0 or num_pus <= 0:
+        raise ConfigError("P and N must be positive")
+    per_iter_reads = (num_intervals / num_pus) * num_vertices
+    return ModelCounts(
+        edge_reads=num_edges * iterations,
+        vertex_seq_reads=per_iter_reads * iterations,
+        vertex_seq_writes=num_vertices * iterations,
+    )
+
+
+def graphr_counts(
+    num_vertices: float,
+    num_edges: float,
+    nonempty_blocks: float,
+    iterations: int = 1,
+) -> ModelCounts:
+    """GraphR's per-run counts: Equation (9) for source loads.
+
+    ``N^R_{v,s} = 16 * N_{non-empty-blocks}`` per iteration (8 sources
+    plus 8 destinations per 8x8 block).
+    """
+    if nonempty_blocks < 0:
+        raise ConfigError("non-empty block count must be non-negative")
+    return ModelCounts(
+        edge_reads=num_edges * iterations,
+        vertex_seq_reads=16.0 * nonempty_blocks * iterations,
+        vertex_seq_writes=num_vertices * iterations,
+    )

@@ -1,0 +1,103 @@
+"""Processing-unit comparison (Section 6.4): CMOS vs ReRAM crossbars.
+
+Implements Equations (10)-(16) as standalone functions and the
+section's takeaway checks: CMOS circuits beat crossbars on both energy
+and latency per edge, because configuring the adjacency matrix costs a
+crossbar write per edge while natural graphs put only 1.2-2.4 edges in
+an 8x8 block (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import params
+from ..arch.crossbar import (
+    CROSSBAR_READ_ENERGY,
+    CROSSBAR_READ_LATENCY,
+    CROSSBAR_WRITE_ENERGY,
+    CROSSBAR_WRITE_LATENCY,
+    CrossbarModel,
+)
+from ..errors import ConfigError
+
+
+def crossbar_mv_energy_per_edge(navg: float) -> float:
+    """Equation (15) via the block form: (E_write + E_read) / N_avg."""
+    return CrossbarModel(navg=navg).energy_per_edge("PR")
+
+
+def crossbar_nmv_energy_per_edge(navg: float) -> float:
+    """Equation (12): row-by-row operation plus the CMOS output op."""
+    return CrossbarModel(navg=navg).energy_per_edge("BFS")
+
+
+def crossbar_mv_latency_per_edge(navg: float) -> float:
+    """Equation (16) for a single graph engine."""
+    return CrossbarModel(navg=navg, num_groups=1).latency_per_edge("PR")
+
+
+def cmos_energy_per_edge(matrix_vector: bool = True) -> float:
+    """Equation (13): one CMOS operation per edge."""
+    if matrix_vector:
+        return params.PU_OP_ENERGY_MV
+    return params.PU_OP_ENERGY_NON_MV
+
+
+def cmos_latency_per_edge() -> float:
+    """Pipelined CMOS initiation interval (the paper quotes the 18.783 ns
+    multiplier latency, hidden by pipelining down to the SRAM cycle)."""
+    from ..memory.nvsim import solve_sram
+    from ..units import MB
+
+    sram = solve_sram(2 * MB)
+    return sram.read_latency * (
+        params.PU_SRAM_ACCESSES_PER_EDGE / params.PU_SRAM_PORTS
+    )
+
+
+@dataclass(frozen=True)
+class PUComparison:
+    """CMOS-vs-crossbar summary for one N_avg."""
+
+    navg: float
+    cmos_energy: float
+    crossbar_mv_energy: float
+    crossbar_nmv_energy: float
+    cmos_latency: float
+    crossbar_latency: float
+
+    @property
+    def cmos_wins_energy(self) -> bool:
+        return self.cmos_energy < min(
+            self.crossbar_mv_energy, self.crossbar_nmv_energy
+        )
+
+    @property
+    def cmos_wins_latency(self) -> bool:
+        return self.cmos_latency < self.crossbar_latency
+
+
+def compare_processing_units(navg: float) -> PUComparison:
+    """The Section 6.4 comparison at a given block occupancy."""
+    if navg <= 0:
+        raise ConfigError(f"N_avg must be positive, got {navg}")
+    return PUComparison(
+        navg=navg,
+        cmos_energy=cmos_energy_per_edge(True),
+        crossbar_mv_energy=crossbar_mv_energy_per_edge(navg),
+        crossbar_nmv_energy=crossbar_nmv_energy_per_edge(navg),
+        cmos_latency=cmos_latency_per_edge(),
+        crossbar_latency=crossbar_mv_latency_per_edge(navg),
+    )
+
+
+#: Constants the section quotes, exposed for reference and tests.
+QUOTED = {
+    "crossbar_write_energy": CROSSBAR_WRITE_ENERGY,
+    "crossbar_read_energy": CROSSBAR_READ_ENERGY,
+    "crossbar_write_latency": CROSSBAR_WRITE_LATENCY,
+    "crossbar_read_latency": CROSSBAR_READ_LATENCY,
+    "cmos_multiplier_energy": params.PU_OP_ENERGY_MV,
+    "cmos_multiplier_latency": params.PU_OP_LATENCY,
+}

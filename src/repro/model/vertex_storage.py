@@ -1,0 +1,242 @@
+"""Vertex-storage comparison (Section 6.3, Figs. 10 and 11).
+
+Vertices are read/written *sequentially* at global scope (interval
+loads/stores) and *randomly* at local scope.  The global traffic volume
+depends on the partitioning discipline: HyVE loads ``(P/N) * N_v``
+source vertices per iteration (Equation (8)) while GraphR loads
+``16 * N_nonempty`` (Equation (9)) — orders of magnitude more on sparse
+graphs, because tiny 8x8 blocks cannot amortise interval loads.
+
+Fig. 10 asks: given each architecture's traffic, is DRAM or ReRAM the
+better *global* vertex memory?  (Answer: DRAM for HyVE's write-heavier
+mix, ReRAM for GraphR's read-dominated one.)  Fig. 11 compares the two
+architectures' total vertex-storage cost (local + global).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.base import EdgeCentricAlgorithm
+from ..algorithms.runner import run_cached
+from ..arch.config import HyVEConfig, Workload, choose_num_intervals
+from ..graph.stats import average_edges_per_nonempty_block
+from ..memory.base import AccessKind, AccessPattern, MemoryDevice
+from ..memory.dram import DDR4Chip, DRAMConfig
+from ..memory.regfile import RegisterFile
+from ..memory.reram import ReRAMChip, ReRAMConfig
+from ..memory.sram import OnChipSRAM
+from ..units import GBIT, MB
+from .equations import ModelCounts, graphr_counts, hyve_counts
+
+
+@dataclass(frozen=True)
+class VertexTraffic:
+    """Global sequential + local random vertex operation counts."""
+
+    seq_reads: float
+    seq_writes: float
+    rand_reads: float
+    rand_writes: float
+
+    @classmethod
+    def from_counts(cls, counts: ModelCounts) -> "VertexTraffic":
+        return cls(
+            seq_reads=counts.vertex_seq_reads,
+            seq_writes=counts.vertex_seq_writes,
+            rand_reads=2.0 * counts.vertex_rand_reads,
+            rand_writes=counts.vertex_rand_writes,
+        )
+
+
+def architecture_traffic(
+    algorithm: EdgeCentricAlgorithm,
+    workload: Workload,
+    architecture: str,
+    num_pus: int = 8,
+    sram_bits: int = 2 * MB,
+) -> VertexTraffic:
+    """Vertex traffic of one run under HyVE's or GraphR's partitioning."""
+    run = run_cached(algorithm, workload.graph)
+    vertices = run.num_vertices * workload.vertex_scale
+    edges = run.edges_per_iteration * workload.edge_scale
+    if architecture == "HyVE":
+        config = HyVEConfig(label="model", num_pus=num_pus,
+                            sram_bits=sram_bits)
+        p = choose_num_intervals(config, vertices, run.vertex_bits)
+        counts = hyve_counts(vertices, edges, p, num_pus, run.iterations)
+    elif architecture == "GraphR":
+        streamed = algorithm.transform_graph(workload.graph)
+        navg = average_edges_per_nonempty_block(streamed) or 1.0
+        counts = graphr_counts(
+            vertices, edges, edges / navg, run.iterations
+        )
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+    return VertexTraffic.from_counts(counts)
+
+
+@dataclass(frozen=True)
+class StorageCost:
+    """Delay/energy/EDP of serving a vertex traffic mix."""
+
+    delay: float
+    energy: float
+
+    @property
+    def edp(self) -> float:
+        return self.delay * self.energy
+
+
+def global_cost(traffic: VertexTraffic, device: MemoryDevice,
+                vertex_bits: int = 32) -> StorageCost:
+    """Cost of the *global* (sequential) share on one device."""
+    read = device.transfer_cost(
+        AccessKind.READ, traffic.seq_reads * vertex_bits,
+        AccessPattern.SEQUENTIAL,
+    )
+    write = device.transfer_cost(
+        AccessKind.WRITE, traffic.seq_writes * vertex_bits,
+        AccessPattern.SEQUENTIAL,
+    )
+    return StorageCost(read.latency + write.latency,
+                       read.energy + write.energy)
+
+
+def local_cost(traffic: VertexTraffic, device: MemoryDevice,
+               vertex_bits: int = 32) -> StorageCost:
+    """Cost of the *local* (random) share on SRAM or register files.
+
+    Every globally loaded vertex is also written into the local memory
+    once (the fill), so the local write count includes the sequential
+    load volume — the term that punishes GraphR's tiny partitions.
+    """
+    words = vertex_bits / 32.0
+    read = device.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+    write = device.access_cost(AccessKind.WRITE, AccessPattern.RANDOM)
+    writes = traffic.rand_writes + traffic.seq_reads  # updates + fills
+    # Local accesses issue over two ports and pipeline with processing;
+    # delay counts the per-access service time across both ports.
+    ports = 2.0
+    delay = (
+        traffic.rand_reads * words * read.latency
+        + writes * words * write.latency
+    ) / ports
+    energy = (
+        traffic.rand_reads * words * read.energy
+        + writes * words * write.energy
+    )
+    return StorageCost(delay, energy)
+
+
+# --- Fig. 10 ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """Normalised global-vertex-memory EDP, DRAM / ReRAM."""
+
+    architecture: str
+    dataset: str
+    density_bits: int
+    edp_ratio: float
+
+    @property
+    def density_gbit(self) -> int:
+        return self.density_bits // GBIT
+
+
+def compare_global_vertex_memory(
+    algorithm: EdgeCentricAlgorithm,
+    workloads: dict[str, Workload],
+    densities: tuple[int, ...] = (4 * GBIT, 8 * GBIT, 16 * GBIT),
+) -> list[Fig10Row]:
+    """Regenerate Fig. 10 for the given workloads."""
+    rows: list[Fig10Row] = []
+    for arch in ("GraphR", "HyVE"):
+        for name, workload in workloads.items():
+            traffic = architecture_traffic(algorithm, workload, arch)
+            for density in densities:
+                dram = global_cost(
+                    traffic, DDR4Chip(DRAMConfig(density_bits=density))
+                )
+                reram = global_cost(
+                    traffic, ReRAMChip(ReRAMConfig(density_bits=density))
+                )
+                rows.append(Fig10Row(arch, name, density,
+                                     dram.edp / reram.edp))
+    return rows
+
+
+# --- Fig. 11 ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig11Row:
+    """GraphR / HyVE vertex-storage ratios for one dataset.
+
+    Mirrors the paper's figure columns: raw operation-count ratios, then
+    delay/energy/EDP ratios computed once with DRAM as the global vertex
+    memory for *both* architectures and once with ReRAM (the local
+    memories stay each architecture's own: SRAM for HyVE, register files
+    for GraphR).
+    """
+
+    dataset: str
+    read_ratio: float
+    write_ratio: float
+    dram_delay_ratio: float
+    dram_energy_ratio: float
+    dram_edp_ratio: float
+    reram_delay_ratio: float
+    reram_energy_ratio: float
+    reram_edp_ratio: float
+
+
+def compare_vertex_storage(
+    algorithm: EdgeCentricAlgorithm,
+    workloads: dict[str, Workload],
+    density_bits: int = 4 * GBIT,
+    sram_bits: int = 2 * MB,
+) -> list[Fig11Row]:
+    """Regenerate Fig. 11: whole-vertex-storage comparison."""
+    rows: list[Fig11Row] = []
+    sram = OnChipSRAM(sram_bits)
+    regfile = RegisterFile()
+    for name, workload in workloads.items():
+        hyve_traffic = architecture_traffic(algorithm, workload, "HyVE",
+                                            sram_bits=sram_bits)
+        graphr_traffic = architecture_traffic(algorithm, workload, "GraphR")
+        hyve_local = local_cost(hyve_traffic, sram)
+        graphr_local = local_cost(graphr_traffic, regfile)
+
+        ratios = {}
+        for tech, device in (
+            ("dram", DDR4Chip(DRAMConfig(density_bits=density_bits))),
+            ("reram", ReRAMChip(ReRAMConfig(density_bits=density_bits))),
+        ):
+            h_global = global_cost(hyve_traffic, device)
+            g_global = global_cost(graphr_traffic, device)
+            h_delay = h_global.delay + hyve_local.delay
+            g_delay = g_global.delay + graphr_local.delay
+            h_energy = h_global.energy + hyve_local.energy
+            g_energy = g_global.energy + graphr_local.energy
+            ratios[f"{tech}_delay_ratio"] = g_delay / h_delay
+            ratios[f"{tech}_energy_ratio"] = g_energy / h_energy
+            ratios[f"{tech}_edp_ratio"] = (
+                (g_delay * g_energy) / (h_delay * h_energy)
+            )
+
+        rows.append(
+            Fig11Row(
+                dataset=name,
+                read_ratio=(
+                    (graphr_traffic.seq_reads + graphr_traffic.rand_reads)
+                    / (hyve_traffic.seq_reads + hyve_traffic.rand_reads)
+                ),
+                write_ratio=(
+                    (graphr_traffic.seq_writes + graphr_traffic.rand_writes)
+                    / (hyve_traffic.seq_writes + hyve_traffic.rand_writes)
+                ),
+                **ratios,
+            )
+        )
+    return rows

@@ -1,0 +1,103 @@
+"""Physical units and conversions used throughout the HyVE models.
+
+Internally, the simulator works in SI base units:
+
+* time     -> seconds
+* energy   -> joules
+* power    -> watts
+* data     -> bits
+
+Device datasheets and the paper quote values in pJ, ps, ns, mW, Gb, MB,
+so this module provides named constants that make calibration tables read
+exactly like the paper (``102.07 * PJ``, ``1983 * PS``) and helpers to
+convert results back into the units the paper reports (MTEPS/W, mW/bit).
+"""
+
+from __future__ import annotations
+
+# --- time -------------------------------------------------------------
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+S = 1.0
+
+# --- energy -----------------------------------------------------------
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ = 1e-3
+J = 1.0
+
+# --- power ------------------------------------------------------------
+UW = 1e-6
+MW = 1e-3
+W = 1.0
+
+# --- data sizes (bits) ------------------------------------------------
+BIT = 1
+BYTE = 8
+KB = 8 * 1024
+MB = 8 * 1024 ** 2
+GB = 8 * 1024 ** 3
+KBIT = 1024
+MBIT = 1024 ** 2
+GBIT = 1024 ** 3
+
+# --- frequency --------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
+
+
+def mteps_per_watt(edges: float, time_s: float, energy_j: float) -> float:
+    """Energy efficiency in million traversed edges per second per watt.
+
+    This is the headline metric of the paper (Figs. 13, 16 and Table 4).
+    MTEPS/W simplifies to (edges / energy) / 1e6 because the time term
+    cancels: ``(edges/time/1e6) / (energy/time)``.
+
+    Args:
+        edges: number of edges traversed during the run.
+        time_s: execution time in seconds (kept for interface symmetry;
+            the metric is time-invariant but a non-positive time signals
+            a malformed report).
+        energy_j: total energy in joules.
+
+    Returns:
+        Efficiency in MTEPS/W.
+    """
+    if time_s <= 0.0:
+        raise ValueError(f"execution time must be positive, got {time_s}")
+    if energy_j <= 0.0:
+        raise ValueError(f"energy must be positive, got {energy_j}")
+    return (edges / energy_j) / 1e6
+
+
+def edp(time_s: float, energy_j: float) -> float:
+    """Energy-delay product in joule-seconds (Equation (5) of the paper)."""
+    return time_s * energy_j
+
+
+def bits_to_mb(bits: float) -> float:
+    """Convert a bit count into mebibytes (for human-readable reports)."""
+    return bits / MB
+
+
+def format_si(value: float, unit: str) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(1.2e-9, 'J')``.
+
+    Picks the largest prefix that keeps the mantissa >= 1.  Values of
+    exactly zero are rendered without a prefix.
+    """
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+    ]
+    if value == 0.0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.4g} {prefix}{unit}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.4g} {prefix}{unit}"

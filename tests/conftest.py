@@ -1,0 +1,55 @@
+"""Shared fixtures for the HyVE reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import Workload
+from repro.graph import Graph, erdos_renyi, rmat
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """The 8-vertex example graph of Fig. 1."""
+    edges = [
+        (1, 0), (0, 7),
+        (2, 3), (2, 4), (3, 4), (3, 7),
+        (4, 1), (4, 5),
+        (6, 2), (6, 0), (7, 1),
+    ]
+    return Graph.from_edges(8, edges, name="fig1")
+
+
+@pytest.fixture
+def small_rmat() -> Graph:
+    return rmat(256, 1024, seed=11, name="small-rmat")
+
+
+@pytest.fixture
+def medium_rmat() -> Graph:
+    return rmat(2048, 16384, seed=12, name="medium-rmat")
+
+
+@pytest.fixture
+def random_graph() -> Graph:
+    return erdos_renyi(300, 1500, seed=13, name="uniform")
+
+
+@pytest.fixture
+def weighted_graph(small_rmat) -> Graph:
+    rng = np.random.default_rng(5)
+    return small_rmat.with_weights(
+        rng.uniform(1.0, 9.0, size=small_rmat.num_edges)
+    )
+
+
+@pytest.fixture(scope="session")
+def lj_workload() -> Workload:
+    """A paper-scale workload (cached for the whole session)."""
+    return Workload.from_dataset("LJ")
+
+
+@pytest.fixture(scope="session")
+def yt_workload() -> Workload:
+    return Workload.from_dataset("YT")

@@ -1,0 +1,75 @@
+"""Property-based tests on algorithm invariants (hypothesis)."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    BFS,
+    ConnectedComponents,
+    PageRank,
+    UNREACHED,
+    run_blocked,
+    run_vectorized,
+)
+from repro.graph import Graph
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    m = draw(st.integers(min_value=0, max_value=120))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return Graph(n, np.array(src, dtype=np.int64),
+                 np.array(dst, dtype=np.int64))
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_pagerank_is_a_distribution(g):
+    run = run_vectorized(PageRank(iterations=5), g)
+    assert abs(run.values.sum() - 1.0) < 1e-9
+    assert (run.values >= 0).all()
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_bfs_levels_respect_edges(g):
+    run = run_vectorized(BFS(0), g)
+    levels = run.values
+    for s, d in g.edges():
+        if levels[s] != UNREACHED:
+            assert levels[d] <= levels[s] + 1
+    assert levels[0] == 0
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_bfs_matches_networkx(g):
+    run = run_vectorized(BFS(0), g)
+    ref = nx.single_source_shortest_path_length(g.to_networkx(), 0)
+    for v in range(g.num_vertices):
+        assert run.values[v] == ref.get(v, UNREACHED)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_cc_labels_are_component_minima(g):
+    run = run_vectorized(ConnectedComponents(), g)
+    for component in nx.weakly_connected_components(g.to_networkx()):
+        labels = {int(run.values[v]) for v in component}
+        assert labels == {min(component)}
+
+
+@given(graphs(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_blocked_equals_vectorized_for_any_partitioning(g, num_pus):
+    p = num_pus * max(1, min(3, g.num_vertices // num_pus))
+    if p > g.num_vertices:
+        p = num_pus
+    if p > g.num_vertices:
+        return  # degenerate: fewer vertices than PUs
+    vec = run_vectorized(PageRank(iterations=3), g)
+    blocked = run_blocked(PageRank(iterations=3), g, p, num_pus)
+    np.testing.assert_allclose(blocked.values, vec.values)

@@ -1,0 +1,56 @@
+"""Tests for the silicon-area model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import (
+    POWER_GATE_BANK_OVERHEAD,
+    density_ratio,
+    memory_area,
+)
+from repro.units import GBIT, MB
+
+
+class TestAreaModel:
+    def test_reram_densest(self):
+        # The area-efficiency claim of Section 3.1: ReRAM beats DRAM,
+        # both beat SRAM by a wide margin.
+        assert density_ratio("reram", "dram") > 1.0
+        assert density_ratio("dram", "sram") > 5.0
+
+    def test_mlc_multiplies_density(self):
+        slc = memory_area("reram", GBIT, cell_bits=1)
+        mlc = memory_area("reram", GBIT, cell_bits=2)
+        assert mlc.total_m2 == pytest.approx(slc.total_m2 / 2)
+
+    def test_power_gate_overhead_is_small(self):
+        plain = memory_area("reram", 4 * GBIT)
+        gated = memory_area("reram", 4 * GBIT, power_gated_banks=8)
+        overhead = gated.total_m2 / plain.total_m2 - 1.0
+        assert 0.0 < overhead <= POWER_GATE_BANK_OVERHEAD * 1.01
+
+    def test_sram_scratchpad_plausible_size(self):
+        # A 2 MB scratchpad at 22 nm lands in the low square millimetres.
+        area = memory_area("sram", 2 * MB)
+        assert 1.0 < area.total_mm2 < 5.0
+
+    def test_periphery_share_matches_efficiency(self):
+        area = memory_area("dram", GBIT)
+        array_share = area.cell_area_m2 / area.total_m2
+        assert array_share == pytest.approx(0.55, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            memory_area("flash", GBIT)
+        with pytest.raises(ConfigError):
+            memory_area("reram", -1)
+        with pytest.raises(ConfigError):
+            memory_area("sram", GBIT, cell_bits=2)
+        with pytest.raises(ConfigError):
+            memory_area("reram", GBIT, cell_bits=0)
+
+    def test_bits_per_mm2_consistent(self):
+        area = memory_area("reram", GBIT)
+        assert area.bits_per_mm2 == pytest.approx(
+            GBIT / area.total_mm2
+        )

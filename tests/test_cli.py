@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import MACHINE_NAMES, build_parser, main
+from repro.graph import io, rmat
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.machine == "acc+HyVE-opt"
+        assert args.algorithm == "pr"
+        assert args.dataset == "YT"
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--machine", "acc+Optane"])
+
+    def test_machine_list_complete(self):
+        assert "GraphR" in MACHINE_NAMES
+        assert "CPU+DRAM" in MACHINE_NAMES
+        assert "acc+HyVE-opt" in MACHINE_NAMES
+
+
+class TestInfo:
+    def test_lists_everything(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "com-youtube" in out
+        assert "acc+HyVE-opt" in out
+        assert "fig16" in out
+
+
+class TestRun:
+    def test_run_dataset(self, capsys):
+        assert main(["run", "--dataset", "YT", "--algorithm", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "MTEPS/W" in out
+        assert "breakdown" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "--dataset", "YT", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"] == "acc+HyVE-opt"
+        assert payload["mteps_per_watt"] > 0
+        assert sum(payload["breakdown"].values()) == pytest.approx(1.0)
+
+    def test_run_custom_graph(self, tmp_path, capsys):
+        graph = rmat(100, 400, seed=1, name="custom")
+        path = tmp_path / "g.txt"
+        io.save_edge_list(graph, path)
+        assert main(["run", "--graph", str(path), "--algorithm", "cc"]) == 0
+        assert "CC" in capsys.readouterr().out
+
+    def test_run_graphr_machine(self, capsys):
+        assert main(
+            ["run", "--dataset", "YT", "--machine", "GraphR"]
+        ) == 0
+        assert "GraphR" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_ranks_all_machines(self, capsys):
+        assert main(["compare", "--dataset", "YT", "--algorithm", "pr"]) == 0
+        out = capsys.readouterr().out
+        for name in MACHINE_NAMES:
+            assert name in out
+        # HyVE-opt must rank first.
+        first_line = out.splitlines()[1]
+        assert first_line.startswith("acc+HyVE-opt")
+
+
+class TestExperiment:
+    def test_single_experiment_no_save(self, capsys):
+        assert main(["experiment", "table3", "--no-save"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "102.1" in out or "102.07" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "fig99", "--no-save"]) == 2
+        assert "unknown" in capsys.readouterr().err

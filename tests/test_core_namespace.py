@@ -1,0 +1,31 @@
+"""The repro.core namespace exposes the paper's contribution."""
+
+import pytest
+
+from repro import core
+
+
+def test_hyve_alias_is_the_machine():
+    from repro.arch.machine import AcceleratorMachine
+
+    assert core.HyVE is AcceleratorMachine
+
+
+def test_default_machine_is_the_optimised_design():
+    machine = core.HyVE()
+    assert machine.label == "acc+HyVE-opt"
+    assert machine.config.data_sharing
+    assert machine.config.power_gating.enabled
+
+
+def test_all_names_resolve():
+    for name in core.__all__:
+        assert getattr(core, name) is not None
+
+
+def test_end_to_end_through_core(small_rmat):
+    from repro.algorithms import PageRank
+
+    result = core.HyVE(core.config_hyve()).run(PageRank(), small_rmat)
+    assert result.report.total_energy > 0
+    assert result.values.sum() == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,78 @@
+"""Tests for the synthetic dataset registry (Table 2 stand-ins)."""
+
+import pytest
+
+from repro.graph import DATASET_ORDER, DATASETS, load, load_all
+from repro.graph.datasets import clear_cache
+from repro.graph.stats import average_edges_per_nonempty_block
+
+
+class TestRegistry:
+    def test_five_datasets_in_paper_order(self):
+        assert DATASET_ORDER == ("YT", "WK", "AS", "LJ", "TW")
+        assert set(DATASETS) == set(DATASET_ORDER)
+
+    def test_paper_sizes(self):
+        assert DATASETS["TW"].paper_edges == 1_470_000_000
+        assert DATASETS["YT"].paper_vertices == 1_160_000
+
+    def test_scale_factors_positive(self):
+        for spec in DATASETS.values():
+            assert spec.scale_factor > 1.0
+
+    def test_vertex_edge_ratio_preserved(self):
+        for spec in DATASETS.values():
+            paper_ratio = spec.paper_edges / spec.paper_vertices
+            synth_ratio = spec.num_edges / spec.num_vertices
+            assert synth_ratio == pytest.approx(paper_ratio, rel=0.25)
+
+
+class TestLoading:
+    def test_load_matches_spec(self):
+        g = load("YT")
+        spec = DATASETS["YT"]
+        assert g.num_vertices == spec.num_vertices
+        assert g.num_edges == spec.num_edges
+
+    def test_load_caches(self):
+        assert load("YT") is load("YT")
+
+    def test_load_case_insensitive(self):
+        assert load("yt") is load("YT")
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_load_all(self):
+        graphs = load_all()
+        assert list(graphs) == list(DATASET_ORDER)
+
+    def test_clear_cache_regenerates_identically(self):
+        import numpy as np
+
+        a = load("WK")
+        clear_cache()
+        b = load("WK")
+        assert a is not b
+        np.testing.assert_array_equal(a.src, b.src)
+
+
+class TestTable1Calibration:
+    """The synthetic graphs must reproduce the paper's N_avg (Table 1)."""
+
+    PAPER = {"YT": 1.44, "WK": 1.23, "AS": 2.38, "LJ": 1.49, "TW": 1.73}
+
+    @pytest.mark.parametrize("key", DATASET_ORDER)
+    def test_navg_within_five_percent(self, key):
+        navg = average_edges_per_nonempty_block(load(key))
+        assert navg == pytest.approx(self.PAPER[key], rel=0.05)
+
+    def test_navg_ordering_matches_paper(self):
+        measured = {
+            k: average_edges_per_nonempty_block(load(k))
+            for k in DATASET_ORDER
+        }
+        paper_order = sorted(self.PAPER, key=self.PAPER.get)
+        measured_order = sorted(measured, key=measured.get)
+        assert paper_order == measured_order

@@ -1,0 +1,116 @@
+"""Tests for request generation, replay and throughput measurement."""
+
+import pytest
+
+from repro.dynamic import (
+    DEFAULT_MIX,
+    DynamicGraphStore,
+    GraphRDynamicStore,
+    Request,
+    RequestKind,
+    apply_requests,
+    compare_dynamic_throughput,
+    generate_requests,
+    measure_store,
+    modeled_update_ratio,
+)
+from repro.errors import DynamicGraphError
+from repro.graph import rmat
+
+
+class TestGenerate:
+    def test_mix_respected(self, medium_rmat):
+        requests = generate_requests(medium_rmat, 8000, seed=0)
+        kinds = [r.kind for r in requests]
+        add_share = kinds.count(RequestKind.ADD_EDGE) / len(kinds)
+        del_share = kinds.count(RequestKind.DELETE_EDGE) / len(kinds)
+        assert add_share == pytest.approx(0.45, abs=0.03)
+        assert del_share == pytest.approx(0.45, abs=0.03)
+
+    def test_deterministic(self, small_rmat):
+        a = generate_requests(small_rmat, 500, seed=7)
+        b = generate_requests(small_rmat, 500, seed=7)
+        assert a == b
+
+    def test_replay_never_raises(self, small_rmat):
+        requests = generate_requests(small_rmat, 2000, seed=3)
+        store = DynamicGraphStore(small_rmat, num_intervals=8)
+        apply_requests(store, requests)  # must not raise
+
+    def test_replay_on_graphr_store(self, small_rmat):
+        requests = generate_requests(small_rmat, 1000, seed=3)
+        store = GraphRDynamicStore(small_rmat)
+        apply_requests(store, requests)
+
+    def test_both_stores_agree_on_edge_count(self, small_rmat):
+        requests = generate_requests(small_rmat, 1500, seed=5)
+        hyve = DynamicGraphStore(small_rmat, num_intervals=8)
+        graphr = GraphRDynamicStore(small_rmat)
+        apply_requests(hyve, requests)
+        apply_requests(graphr, requests)
+        assert hyve.num_edges == graphr.num_edges
+
+    def test_custom_mix(self, small_rmat):
+        requests = generate_requests(
+            small_rmat, 1000, mix={"add_edge": 1.0}, seed=1
+        )
+        assert all(r.kind is RequestKind.ADD_EDGE for r in requests)
+
+    def test_rejects_zero_weight_mix(self, small_rmat):
+        with pytest.raises(DynamicGraphError):
+            generate_requests(small_rmat, 10, mix={"add_edge": 0.0})
+
+    def test_default_mix_sums_to_one(self):
+        assert sum(DEFAULT_MIX.values()) == pytest.approx(1.0)
+
+
+class TestApply:
+    def test_returns_changed_edges(self, small_rmat):
+        store = DynamicGraphStore(small_rmat, num_intervals=8)
+        requests = [
+            Request(RequestKind.ADD_EDGE, 0, 1),
+            Request(RequestKind.ADD_EDGE, 1, 2),
+            Request(RequestKind.DELETE_EDGE, 0, 1),
+            Request(RequestKind.ADD_VERTEX),
+        ]
+        changed = apply_requests(store, requests)
+        assert changed == 3  # vertex add changes no edges
+
+
+class TestThroughput:
+    def test_measure_store(self, small_rmat):
+        store = DynamicGraphStore(small_rmat, num_intervals=8)
+        requests = generate_requests(small_rmat, 1000, seed=2)
+        result = measure_store("HyVE", store, "s", requests)
+        assert result.edges_changed > 0
+        assert result.million_edges_per_second > 0
+
+    def test_compare_returns_both(self, small_rmat):
+        hyve, graphr = compare_dynamic_throughput(
+            small_rmat, num_requests=1500
+        )
+        assert hyve.store == "HyVE"
+        assert graphr.store == "GraphR"
+        assert hyve.edges_changed == graphr.edges_changed
+
+    def test_hyve_faster_than_graphr(self):
+        # Wall-clock comparison: take the best of three runs per store
+        # to shrug off scheduler noise.
+        g = rmat(4096, 40000, seed=21)
+        best_ratio = 0.0
+        for attempt in range(3):
+            hyve, graphr = compare_dynamic_throughput(
+                g, num_requests=8000, seed=attempt
+            )
+            best_ratio = max(
+                best_ratio,
+                hyve.million_edges_per_second
+                / graphr.million_edges_per_second,
+            )
+            if best_ratio > 1.0:
+                break
+        assert best_ratio > 1.0
+
+    def test_modeled_ratio_near_paper(self):
+        # Paper measures 8.04x; the data-movement model gives 8.5x.
+        assert modeled_update_ratio() == pytest.approx(8.04, rel=0.2)

@@ -1,0 +1,34 @@
+"""The exception hierarchy is stable public API."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.GraphError,
+    errors.PartitionError,
+    errors.ConfigError,
+    errors.MemoryModelError,
+    errors.DynamicGraphError,
+    errors.ConvergenceError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_catchable_as_repro_error(exc):
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_errors_are_distinct():
+    assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)

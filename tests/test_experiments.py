@@ -1,0 +1,287 @@
+"""Tests for the experiment drivers: shape and headline claims.
+
+These tests pin the *reproduced trends* of every figure/table —
+orderings, crossovers and approximate factors — not exact numbers.
+They run the real simulation pipeline end to end.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig21,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.common import geomean
+
+
+class TestExperimentResult:
+    def test_add_validates_column_count(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            r.add(1)
+
+    def test_column_extraction(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        r.add(1, 2)
+        r.add(3, 4)
+        assert r.column("b") == [2, 4]
+
+    def test_format_renders_headers_and_rows(self):
+        r = ExperimentResult("x", "some title", ["col"], notes="hello")
+        r.add(3.14159)
+        text = r.format()
+        assert "some title" in text
+        assert "col" in text
+        assert "3.14" in text
+        assert "hello" in text
+
+    def test_save(self, tmp_path):
+        r = ExperimentResult("x", "t", ["a"])
+        r.add(1)
+        path = r.save(tmp_path)
+        assert path.read_text().startswith("== x: t ==")
+
+
+class TestRegistry:
+    def test_every_figure_and_table_present(self):
+        expected = {
+            "table1", "table2", "table3", "table4",
+            "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+        }
+        assert expected <= set(ALL_EXPERIMENTS)
+
+    def test_ablations_present(self):
+        assert "ablation_interleaving" in ALL_EXPERIMENTS
+        assert "ablation_bpg_timeout" in ALL_EXPERIMENTS
+        assert "ablation_pu_count" in ALL_EXPERIMENTS
+        assert "ablation_execution_model" in ALL_EXPERIMENTS
+        assert "ablation_density" in ALL_EXPERIMENTS
+
+
+class TestTable1:
+    def test_navg_close_to_paper(self):
+        result = table1.run()
+        for row in result.rows:
+            _, measured, paper = row
+            assert measured == pytest.approx(paper, rel=0.05)
+
+
+class TestTable3:
+    def test_energy_optimized_512_minimises_power_per_bit(self):
+        result = table3.run()
+        powers = result.column("Power/bit (mW/bit)")
+        targets = result.column("Target")
+        bits = result.column("Output bits")
+        best = powers.index(min(powers))
+        assert targets[best] == "energy-optimized"
+        assert bits[best] == 512
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run()
+
+    def test_full_sweep_shape(self, result):
+        assert len(result.rows) == 15           # 3 algos x 5 datasets
+        assert len(result.headers) == 2 + 16    # 4 groups x 4 sizes
+
+    def test_sweet_spots_match_paper(self, result):
+        spots = table4.sweet_spots(result)
+        # Section 7.2.3: 4 MB without sharing, 2 MB with sharing.
+        assert spots["w/o PG, w/o sharing"] == 4
+        assert spots["w/ PG, w/ sharing"] == 2
+
+    def test_sharing_with_pg_wins_everywhere_at_2mb(self, result):
+        best = result.column("w/ PG, w/ sharing 2MB")
+        base = result.column("w/o PG, w/o sharing 2MB")
+        assert all(b > a for a, b in zip(base, best))
+
+
+class TestFig14:
+    def test_sharing_always_helps(self):
+        result = fig14.run()
+        for row in result.rows:
+            ratios = row[1:6]
+            assert all(r > 1.0 for r in ratios)
+
+    def test_pr_gains_most(self):
+        result = fig14.run()
+        means = {row[0]: row[6] for row in result.rows}
+        assert means["PR"] > means["CC"]
+        assert means["PR"] > means["BFS"]
+
+
+class TestFig15:
+    def test_average_gain_near_paper(self):
+        result = fig15.run()
+        all_ratios = [r for row in result.rows for r in row[1:6]]
+        assert geomean(all_ratios) == pytest.approx(1.53, rel=0.25)
+
+    def test_gating_never_hurts(self):
+        result = fig15.run()
+        for row in result.rows:
+            assert all(r >= 1.0 for r in row[1:6])
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        return fig16.opt_ratios()
+
+    def test_opt_vs_dram_several_fold(self, ratios):
+        # Paper: 5.90x.
+        assert 4.0 < ratios["acc+DRAM"] < 12.0
+
+    def test_opt_vs_sd_about_two(self, ratios):
+        # Paper: 2.00x.
+        assert 1.5 < ratios["acc+SRAM+DRAM"] < 3.0
+
+    def test_opt_vs_cpu_two_orders(self, ratios):
+        # Paper: 145.71x.
+        assert 80 < ratios["CPU+DRAM"] < 260
+
+    def test_reram_swap_alone_helps_modestly(self, ratios):
+        # acc+ReRAM beats acc+DRAM but by far less than HyVE does.
+        gain = ratios["acc+DRAM"] / ratios["acc+ReRAM"]
+        assert 1.05 < gain < 2.5
+
+    def test_full_ordering(self, ratios):
+        assert (
+            ratios["CPU+DRAM"]
+            > ratios["acc+DRAM"]
+            > ratios["acc+ReRAM"]
+            > ratios["acc+SRAM+DRAM"]
+            > ratios["acc+HyVE"]
+            > 1.0
+        )
+
+
+class TestFig17:
+    def test_memory_share_drops_with_each_optimisation(self):
+        result = fig17.run()
+        shares = {"SD": [], "HyVE": [], "opt": []}
+        for row in result.rows:
+            shares[row[0]].append(row[6])
+        sd = sum(shares["SD"]) / len(shares["SD"])
+        hyve = sum(shares["HyVE"]) / len(shares["HyVE"])
+        opt = sum(shares["opt"]) / len(shares["opt"])
+        assert sd > hyve > opt
+
+    def test_sd_memory_share_near_paper(self):
+        result = fig17.run()
+        sd_shares = [row[6] for row in result.rows if row[0] == "SD"]
+        mean = sum(sd_shares) / len(sd_shares)
+        assert mean == pytest.approx(88.62, abs=8.0)  # percent
+
+    def test_memory_energy_reduction(self):
+        reductions = fig17.memory_reduction()
+        # Paper: 57.57% (HyVE) and 86.17% (opt).
+        assert 25 < reductions["HyVE"] < 70
+        assert 45 < reductions["opt"] < 95
+        assert reductions["opt"] > reductions["HyVE"]
+
+
+class TestFig18:
+    def test_hyve_slightly_slower(self):
+        result = fig18.run()
+        for row in result.rows:
+            ratios = row[1:6]
+            assert all(0.7 < r <= 1.0 for r in ratios)
+
+    def test_slowdowns_in_paper_band(self):
+        # Paper: 1.9% (BFS) to 15.1% (PR) slowdown.
+        result = fig18.run()
+        for row in result.rows:
+            assert 0.0 < row[7] < 20.0
+
+
+class TestFig19:
+    def test_graphr_preprocessing_several_fold_slower(self):
+        result = fig19.run()
+        for row in result.rows:
+            assert 2.5 < row[1] < 12.0
+        values = result.column("GraphR/HyVE")
+        assert sum(values) / len(values) == pytest.approx(6.73, rel=0.35)
+
+
+class TestFig21:
+    @pytest.fixture(scope="class")
+    def averages(self):
+        return fig21.averages()
+
+    def test_hyve_faster(self, averages):
+        assert averages["delay"] == pytest.approx(5.12, rel=0.5)
+
+    def test_hyve_less_energy(self, averages):
+        assert averages["energy"] == pytest.approx(2.83, rel=0.5)
+
+    def test_edp_order_of_magnitude(self, averages):
+        assert averages["edp"] == pytest.approx(17.63, rel=0.6)
+
+    def test_hyve_wins_every_cell(self):
+        result = fig21.run()
+        for row in result.rows:
+            assert row[2] > 1.0  # delay
+            assert row[3] > 1.0  # energy
+            assert row[4] > 1.0  # EDP
+
+
+class TestFig12Measured:
+    def test_measured_series_included_on_request(self):
+        from repro.experiments import fig12
+
+        result = fig12.run(include_measured=True)
+        sources = result.column("Source")
+        assert "model" in sources and "measured" in sources
+
+
+class TestResultExports:
+    @pytest.fixture
+    def result(self):
+        r = ExperimentResult("exp", "title", ["name", "value"])
+        r.add("a", 1.23456)
+        r.add("b", 7)
+        return r
+
+    def test_csv(self, result):
+        lines = result.to_csv().strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1].startswith("a,")
+
+    def test_save_csv(self, result, tmp_path):
+        path = result.save_csv(tmp_path)
+        assert path.suffix == ".csv"
+        assert "name,value" in path.read_text()
+
+    def test_markdown(self, result):
+        md = result.to_markdown()
+        assert md.splitlines()[0] == "| name | value |"
+        assert "| a | 1.235 |" in md
+
+
+class TestCheapDriverSchemas:
+    """Every cheap driver returns non-empty, well-formed rows."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["table1", "table2", "table3", "fig09", "fig12", "fig13",
+         "fig15", "fig18", "fig19", "ablation_interleaving",
+         "ablation_bpg_timeout"],
+    )
+    def test_driver(self, name):
+        result = ALL_EXPERIMENTS[name]()
+        assert result.rows
+        assert all(len(row) == len(result.headers) for row in result.rows)
+        assert result.format()

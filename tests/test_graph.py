@@ -1,0 +1,188 @@
+"""Tests for the core Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import EDGE_BITS, Graph, WEIGHTED_EDGE_BITS
+
+
+class TestConstruction:
+    def test_from_edges(self, tiny_graph):
+        assert tiny_graph.num_vertices == 8
+        assert tiny_graph.num_edges == 11
+
+    def test_empty(self):
+        g = Graph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_empty_zero_vertices(self):
+        g = Graph.empty()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_arrays_are_int64(self, tiny_graph):
+        assert tiny_graph.src.dtype == np.int64
+        assert tiny_graph.dst.dtype == np.int64
+
+    def test_weighted(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)], weights=[1.5, 2.5])
+        assert g.is_weighted
+        assert g.weights.tolist() == [1.5, 2.5]
+
+    def test_unweighted_has_no_weights(self, tiny_graph):
+        assert not tiny_graph.is_weighted
+        assert tiny_graph.weights is None
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 3)])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(-1, 0)])
+
+    def test_rejects_negative_vertex_count(self):
+        with pytest.raises(GraphError):
+            Graph(-1, np.empty(0), np.empty(0))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphError):
+            Graph(3, np.array([0, 1]), np.array([1]))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_rejects_malformed_pairs(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 1, 2)])
+
+    def test_edge_bits(self, tiny_graph):
+        assert tiny_graph.edge_bits == EDGE_BITS == 64
+
+    def test_weighted_edge_bits(self):
+        g = Graph.from_edges(2, [(0, 1)], weights=[1.0])
+        assert g.edge_bits == WEIGHTED_EDGE_BITS == 96
+
+    def test_allows_self_loops(self):
+        g = Graph.from_edges(2, [(0, 0), (1, 1)])
+        assert g.num_edges == 2
+
+    def test_allows_duplicate_edges(self):
+        g = Graph.from_edges(2, [(0, 1), (0, 1)])
+        assert g.num_edges == 2
+
+
+class TestDegrees:
+    def test_out_degrees(self, tiny_graph):
+        degrees = tiny_graph.out_degrees()
+        assert degrees.tolist() == [1, 1, 2, 2, 2, 0, 2, 1]
+
+    def test_in_degrees(self, tiny_graph):
+        degrees = tiny_graph.in_degrees()
+        assert degrees.sum() == tiny_graph.num_edges
+
+    def test_degree_sums_match_edge_count(self, small_rmat):
+        assert small_rmat.out_degrees().sum() == small_rmat.num_edges
+        assert small_rmat.in_degrees().sum() == small_rmat.num_edges
+
+    def test_empty_graph_degrees(self):
+        g = Graph.empty(4)
+        assert g.out_degrees().tolist() == [0, 0, 0, 0]
+
+
+class TestQueries:
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(0, 1)
+
+    def test_edges_iterator(self, tiny_graph):
+        edges = list(tiny_graph.edges())
+        assert len(edges) == 11
+        assert (1, 0) in edges
+
+
+class TestTransforms:
+    def test_reverse(self, tiny_graph):
+        rev = tiny_graph.reverse()
+        assert rev.has_edge(0, 1)
+        assert rev.num_edges == tiny_graph.num_edges
+        np.testing.assert_array_equal(rev.src, tiny_graph.dst)
+
+    def test_double_reverse_is_identity(self, tiny_graph):
+        rev2 = tiny_graph.reverse().reverse()
+        np.testing.assert_array_equal(rev2.src, tiny_graph.src)
+        np.testing.assert_array_equal(rev2.dst, tiny_graph.dst)
+
+    def test_reverse_preserves_weights(self, weighted_graph):
+        rev = weighted_graph.reverse()
+        np.testing.assert_array_equal(rev.weights, weighted_graph.weights)
+
+    def test_with_unit_weights(self, tiny_graph):
+        g = tiny_graph.with_unit_weights()
+        assert g.is_weighted
+        assert (g.weights == 1.0).all()
+
+    def test_relabel_identity(self, tiny_graph):
+        ident = np.arange(8)
+        g = tiny_graph.relabel(ident)
+        np.testing.assert_array_equal(g.src, tiny_graph.src)
+
+    def test_relabel_permutes(self, tiny_graph):
+        mapping = np.array([7, 6, 5, 4, 3, 2, 1, 0])
+        g = tiny_graph.relabel(mapping)
+        assert g.has_edge(6, 7)  # was (1, 0)
+        assert g.num_edges == tiny_graph.num_edges
+
+    def test_relabel_rejects_non_permutation(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.relabel(np.zeros(8, dtype=np.int64))
+
+    def test_relabel_rejects_wrong_length(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.relabel(np.arange(5))
+
+    def test_sorted_by(self, tiny_graph):
+        order = np.arange(tiny_graph.num_edges)[::-1]
+        g = tiny_graph.sorted_by(order)
+        assert g.src[0] == tiny_graph.src[-1]
+
+    def test_sorted_by_rejects_partial_order(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.sorted_by(np.arange(3))
+
+    def test_deduplicated(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 1), (1, 2)])
+        d = g.deduplicated()
+        assert d.num_edges == 2
+
+    def test_deduplicated_keeps_all_unique(self, tiny_graph):
+        assert tiny_graph.deduplicated().num_edges == tiny_graph.num_edges
+
+    def test_without_self_loops(self):
+        g = Graph.from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        clean = g.without_self_loops()
+        assert clean.num_edges == 1
+        assert clean.has_edge(0, 1)
+
+
+class TestInterop:
+    def test_to_networkx(self, tiny_graph):
+        nxg = tiny_graph.to_networkx()
+        assert nxg.number_of_nodes() == 8
+        assert nxg.has_edge(1, 0)
+
+    def test_to_networkx_weighted(self, weighted_graph):
+        nxg = weighted_graph.to_networkx()
+        assert nxg.number_of_nodes() == weighted_graph.num_vertices
+
+    def test_to_csr(self, tiny_graph):
+        m = tiny_graph.to_csr()
+        assert m.shape == (8, 8)
+        assert m.sum() == tiny_graph.num_edges
+
+    def test_to_csr_weighted(self):
+        g = Graph.from_edges(2, [(0, 1)], weights=[3.5])
+        assert g.to_csr()[0, 1] == 3.5

@@ -1,0 +1,116 @@
+"""Property-based tests on the graph substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    Graph,
+    HashPlacement,
+    IntervalBlockPartition,
+    interval_bounds,
+    rmat,
+)
+from repro.graph.stats import (
+    average_edges_per_nonempty_block,
+    nonempty_block_count,
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=64, max_edges=200):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return Graph(n, np.array(src, dtype=np.int64),
+                 np.array(dst, dtype=np.int64))
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_degree_sums_equal_edge_count(g):
+    assert g.out_degrees().sum() == g.num_edges
+    assert g.in_degrees().sum() == g.num_edges
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_reverse_swaps_degree_distributions(g):
+    rev = g.reverse()
+    np.testing.assert_array_equal(rev.out_degrees(), g.in_degrees())
+    np.testing.assert_array_equal(rev.in_degrees(), g.out_degrees())
+
+
+@given(graphs(), st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_partition_is_exhaustive_and_disjoint(g, p):
+    p = min(p, g.num_vertices)
+    part = IntervalBlockPartition.build(g, p)
+    indices = [
+        part.block_edge_indices(i, j) for i in range(p) for j in range(p)
+    ]
+    flat = np.concatenate(indices) if indices else np.empty(0)
+    assert sorted(flat.tolist()) == list(range(g.num_edges))
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=100, deadline=None)
+def test_interval_bounds_cover_everything(n, p):
+    bounds = interval_bounds(n, p)
+    sizes = np.diff(bounds)
+    assert sizes.sum() == n
+    assert (sizes >= 0).all()
+    # Sizes differ by at most one (balanced split).
+    if n > 0:
+        assert sizes.max() - sizes.min() <= 1
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_hash_placement_preserves_graph_statistics(g):
+    placement = HashPlacement.for_graph(g)
+    hashed = placement.apply(g)
+    assert hashed.num_edges == g.num_edges
+    # The degree *multiset* is invariant under relabeling.
+    assert sorted(hashed.out_degrees().tolist()) == sorted(
+        g.out_degrees().tolist()
+    )
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_navg_definition(g):
+    blocks = nonempty_block_count(g)
+    navg = average_edges_per_nonempty_block(g)
+    if g.num_edges == 0:
+        assert navg == 0.0
+    else:
+        assert blocks >= 1
+        assert navg * blocks == pytest.approx(g.num_edges)
+        assert navg >= 1.0
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_dedup_is_idempotent(g):
+    once = g.deduplicated()
+    twice = once.deduplicated()
+    assert once.num_edges == twice.num_edges
+
+
+@given(st.integers(min_value=1, max_value=512),
+       st.integers(min_value=0, max_value=512),
+       st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=30, deadline=None)
+def test_rmat_always_valid(n, m, seed):
+    g = rmat(n, m, seed=seed)
+    assert g.num_vertices == n
+    assert g.num_edges == m
+    if m:
+        assert g.src.max() < n and g.dst.max() < n

@@ -1,0 +1,81 @@
+"""Tests for hash-based vertex placement (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import Graph, HashPlacement, hash_partition, imbalance, rmat
+
+
+class TestHashPlacement:
+    def test_forward_is_permutation(self, small_rmat):
+        placement = HashPlacement.for_graph(small_rmat)
+        fwd = placement.forward()
+        assert sorted(fwd.tolist()) == list(range(small_rmat.num_vertices))
+
+    def test_inverse_undoes_forward(self, small_rmat):
+        placement = HashPlacement.for_graph(small_rmat)
+        fwd, inv = placement.forward(), placement.inverse()
+        np.testing.assert_array_equal(
+            inv[fwd], np.arange(small_rmat.num_vertices)
+        )
+
+    def test_multiplier_coprime(self):
+        # num_vertices sharing factors with the default multiplier.
+        g = rmat(2_654_435_761 % 1000 + 1000, 100, seed=0)
+        placement = HashPlacement.for_graph(g)
+        import math
+
+        assert math.gcd(placement.multiplier, g.num_vertices) == 1
+
+    def test_apply_preserves_structure(self, tiny_graph):
+        placement = HashPlacement.for_graph(tiny_graph)
+        hashed = placement.apply(tiny_graph)
+        assert hashed.num_edges == tiny_graph.num_edges
+        assert hashed.out_degrees().sum() == tiny_graph.num_edges
+
+    def test_restore_roundtrip(self, tiny_graph):
+        placement = HashPlacement.for_graph(tiny_graph)
+        hashed_values = np.arange(8, dtype=float)[placement.inverse()]
+        restored = placement.restore(hashed_values)
+        np.testing.assert_array_equal(restored, np.arange(8, dtype=float))
+
+    def test_restore_rejects_wrong_length(self, tiny_graph):
+        placement = HashPlacement.for_graph(tiny_graph)
+        with pytest.raises(PartitionError):
+            placement.restore(np.zeros(3))
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(PartitionError):
+            HashPlacement.for_graph(Graph.empty(0))
+
+
+class TestHashPartition:
+    def test_returns_partition_of_hashed_graph(self, medium_rmat):
+        part, placement = hash_partition(medium_rmat, 16)
+        assert part.num_intervals == 16
+        assert part.graph.num_edges == medium_rmat.num_edges
+
+    def test_balances_skewed_graphs(self):
+        g = rmat(4096, 32768, a=0.7, b=0.1, c=0.1, seed=3)
+        natural = __import__(
+            "repro.graph.partition", fromlist=["IntervalBlockPartition"]
+        ).IntervalBlockPartition.build(g, 32)
+        hashed, _ = hash_partition(g, 32)
+        assert imbalance(hashed, 8) <= imbalance(natural, 8)
+
+
+class TestImbalance:
+    def test_at_least_one(self, medium_rmat):
+        part, _ = hash_partition(medium_rmat, 16)
+        assert imbalance(part, 8) >= 1.0
+
+    def test_empty_graph_is_balanced(self):
+        from repro.graph.partition import IntervalBlockPartition
+
+        part = IntervalBlockPartition.build(Graph.empty(16), 8)
+        assert imbalance(part, 4) == 1.0
+
+    def test_single_pu_is_balanced(self, medium_rmat):
+        part, _ = hash_partition(medium_rmat, 16)
+        assert imbalance(part, 1) == pytest.approx(1.0)

@@ -1,0 +1,47 @@
+"""Tests for the headline and sensitivity experiment drivers."""
+
+import pytest
+
+from repro.experiments import headline, sensitivity
+from repro.experiments.sensitivity import opt_over_sd, perturbed
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return headline.run()
+
+    def test_every_claim_has_both_columns(self, result):
+        for claim, paper, reproduced in result.rows:
+            assert claim and paper and reproduced
+
+    def test_covers_all_banner_numbers(self, result):
+        claims = " | ".join(result.column("Claim"))
+        for keyword in ("acc+DRAM", "CPU+DRAM", "sharing", "power-gating",
+                        "memory energy", "GraphR", "preprocessing",
+                        "dynamic"):
+            assert keyword in claims
+
+
+class TestSensitivity:
+    def test_perturbation_restores_constant(self):
+        from repro.arch import params
+
+        original = params.PIPELINE_ENERGY_PER_EDGE
+        with perturbed("repro.arch.params", "PIPELINE_ENERGY_PER_EDGE", 2.0):
+            assert params.PIPELINE_ENERGY_PER_EDGE == 2.0 * original
+        assert params.PIPELINE_ENERGY_PER_EDGE == original
+
+    def test_opt_over_sd_above_paper_floor(self):
+        assert opt_over_sd() > 1.5
+
+    def test_perturbation_moves_the_ratio(self):
+        base = opt_over_sd()
+        with perturbed("repro.memory.reram", "STREAM_FACTOR", 1.5):
+            heavier = opt_over_sd()
+        assert heavier != pytest.approx(base, rel=1e-3)
+
+    def test_full_sweep_robust(self):
+        result = sensitivity.run(factors=(0.7, 1.3))
+        for row in result.rows:
+            assert all(ratio > 1.0 for ratio in row[1:])

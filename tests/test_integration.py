@@ -1,0 +1,104 @@
+"""End-to-end integration tests across the public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AcceleratorMachine,
+    DynamicGraphStore,
+    Graph,
+    GraphRMachine,
+    HyVEConfig,
+    PageRank,
+    Workload,
+    make_machine,
+    rmat,
+)
+from repro.algorithms import BFS, run_blocked, run_vectorized
+from repro.dynamic import apply_requests, generate_requests
+
+
+class TestQuickstartFlow:
+    """The README quickstart must work exactly as written."""
+
+    def test_quickstart(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        machine = AcceleratorMachine(HyVEConfig())
+        result = machine.run(PageRank(), graph)
+        assert "MTEPS/W" in result.report.summary()
+        assert result.values.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestFullPipeline:
+    def test_generate_partition_simulate(self):
+        graph = rmat(1000, 8000, seed=17)
+        workload = Workload(
+            graph,
+            reported_vertices=1_000_000,
+            reported_edges=8_000_000,
+        )
+        machines = [
+            make_machine("acc+HyVE-opt"),
+            make_machine("acc+SRAM+DRAM"),
+            GraphRMachine(),
+        ]
+        reports = [m.run(PageRank(), workload).report for m in machines]
+        opt, sd, graphr = reports
+        assert opt.mteps_per_watt > sd.mteps_per_watt
+        assert opt.mteps_per_watt > graphr.mteps_per_watt
+        # All three machines computed the same algorithm result.
+        assert opt.edges_traversed == sd.edges_traversed
+
+    def test_dynamic_then_static_analysis(self):
+        graph = rmat(500, 4000, seed=23)
+        store = DynamicGraphStore(graph, num_intervals=8)
+        requests = generate_requests(graph, 2000, seed=3)
+        apply_requests(store, requests)
+        evolved = store.to_graph("evolved")
+        # The evolved graph feeds straight back into the simulator.
+        report = AcceleratorMachine().run(BFS(), evolved).report
+        assert report.total_energy > 0
+
+    def test_blocked_execution_matches_machine_results(self):
+        graph = rmat(512, 4096, seed=29)
+        machine_values = AcceleratorMachine().run(PageRank(), graph).values
+        blocked = run_blocked(PageRank(), graph, num_intervals=8, num_pus=4)
+        np.testing.assert_allclose(machine_values, blocked.values)
+
+    def test_weighted_flow(self):
+        from repro.algorithms import SSSP
+        from repro.graph import random_weights
+
+        graph = random_weights(rmat(300, 2000, seed=31), seed=31)
+        result = AcceleratorMachine().run(SSSP(0), graph)
+        assert result.report.algorithm == "SSSP"
+        assert np.isfinite(result.values[0])
+
+    def test_cross_machine_energy_breakdown_consistency(self):
+        graph = rmat(400, 3000, seed=37)
+        for name in ("acc+DRAM", "acc+ReRAM", "acc+SRAM+DRAM",
+                     "acc+HyVE", "acc+HyVE-opt"):
+            report = make_machine(name).run(PageRank(), graph).report
+            assert sum(report.breakdown().values()) == pytest.approx(1.0)
+            assert report.time > 0
+
+
+class TestIoRoundTripThroughSimulation:
+    def test_save_load_simulate(self, tmp_path):
+        from repro.graph import io
+
+        graph = rmat(200, 1500, seed=41)
+        path = tmp_path / "g.npz"
+        io.save_binary(graph, path)
+        loaded = io.load_binary(path)
+        a = run_vectorized(PageRank(), graph)
+        b = run_vectorized(PageRank(), loaded)
+        np.testing.assert_allclose(a.values, b.values)

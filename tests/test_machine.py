@@ -1,0 +1,143 @@
+"""Tests for the accelerator machine model (fold of counts into energy)."""
+
+import pytest
+
+from repro.algorithms import BFS, ConnectedComponents, PageRank
+from repro.arch.config import HyVEConfig, Workload
+from repro.arch.machine import AcceleratorMachine, make_machine
+from repro.arch.report import EDGE_MEMORY, EDGE_MEMORY_BG
+from repro.errors import ConfigError
+from repro.memory.powergate import PowerGatingPolicy
+
+
+class TestRunInterface:
+    def test_accepts_bare_graph(self, small_rmat):
+        result = AcceleratorMachine().run(PageRank(), small_rmat)
+        assert result.report.total_energy > 0
+        assert result.report.time > 0
+
+    def test_returns_algorithm_values(self, small_rmat):
+        result = AcceleratorMachine().run(PageRank(), small_rmat)
+        assert result.values.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_report_metadata(self, lj_workload):
+        report = AcceleratorMachine().run(PageRank(), lj_workload).report
+        assert report.machine == "acc+HyVE-opt"
+        assert report.algorithm == "PR"
+        assert report.graph == "LJ"
+        assert report.iterations == 10
+
+    def test_run_counts_exposed(self, lj_workload):
+        counts = AcceleratorMachine().run_counts(PageRank(), lj_workload)
+        assert counts.num_intervals % counts.num_pus == 0
+
+
+class TestEnergyAccounting:
+    def test_all_components_non_negative(self, lj_workload):
+        report = AcceleratorMachine().run(PageRank(), lj_workload).report
+        for component, value in report.energy.items():
+            assert value >= 0, component
+
+    def test_breakdown_sums_to_one(self, lj_workload):
+        report = AcceleratorMachine().run(BFS(), lj_workload).report
+        assert sum(report.breakdown().values()) == pytest.approx(1.0)
+
+    def test_memory_plus_logic_is_total(self, lj_workload):
+        report = AcceleratorMachine().run(PageRank(), lj_workload).report
+        assert report.memory_energy + report.logic_energy == pytest.approx(
+            report.total_energy
+        )
+
+    def test_mteps_per_watt_consistent(self, lj_workload):
+        report = AcceleratorMachine().run(PageRank(), lj_workload).report
+        expected = report.edges_traversed / report.total_energy / 1e6
+        assert report.mteps_per_watt == pytest.approx(expected)
+
+
+class TestDesignDirections:
+    """The qualitative orderings every figure rests on."""
+
+    def test_reram_edges_cut_edge_memory_energy(self, lj_workload):
+        hyve = make_machine("acc+HyVE").run(PageRank(), lj_workload).report
+        sd = make_machine("acc+SRAM+DRAM").run(PageRank(), lj_workload).report
+        assert hyve.energy[EDGE_MEMORY] < sd.energy[EDGE_MEMORY]
+
+    def test_power_gating_cuts_edge_background(self, lj_workload):
+        opt = make_machine("acc+HyVE-opt").run(PageRank(), lj_workload).report
+        plain = make_machine("acc+HyVE").run(PageRank(), lj_workload).report
+        assert opt.energy[EDGE_MEMORY_BG] < 0.2 * plain.energy[EDGE_MEMORY_BG]
+
+    def test_power_gating_never_hurts_efficiency(self, yt_workload):
+        opt = make_machine("acc+HyVE-opt").run(BFS(), yt_workload).report
+        plain = make_machine("acc+HyVE").run(BFS(), yt_workload).report
+        assert opt.mteps_per_watt > plain.mteps_per_watt
+
+    def test_machine_ordering_on_pagerank(self, lj_workload):
+        effs = {
+            name: make_machine(name).run(PageRank(), lj_workload)
+            .report.mteps_per_watt
+            for name in (
+                "acc+DRAM", "acc+ReRAM", "acc+SRAM+DRAM", "acc+HyVE",
+                "acc+HyVE-opt",
+            )
+        }
+        assert (
+            effs["acc+DRAM"]
+            < effs["acc+ReRAM"]
+            < effs["acc+SRAM+DRAM"]
+            < effs["acc+HyVE"]
+            < effs["acc+HyVE-opt"]
+        )
+
+    def test_hyve_slightly_slower_than_sd(self, lj_workload):
+        hyve = make_machine("acc+HyVE").run(PageRank(), lj_workload).report
+        sd = make_machine("acc+SRAM+DRAM").run(PageRank(), lj_workload).report
+        assert 0.7 < sd.time / hyve.time < 1.0
+
+    def test_sharing_reduces_offchip_time(self, lj_workload):
+        shared = AcceleratorMachine(
+            HyVEConfig(label="s", power_gating=PowerGatingPolicy(enabled=False))
+        ).run(PageRank(), lj_workload).report
+        unshared = AcceleratorMachine(
+            HyVEConfig(
+                label="u",
+                data_sharing=False,
+                power_gating=PowerGatingPolicy(enabled=False),
+            )
+        ).run(PageRank(), lj_workload).report
+        assert shared.time < unshared.time
+        assert shared.total_energy < unshared.total_energy
+
+
+class TestScaling:
+    def test_energy_scales_with_workload_size(self, small_rmat):
+        machine = AcceleratorMachine()
+        small = machine.run(PageRank(), Workload(small_rmat)).report
+        scaled = machine.run(
+            PageRank(),
+            Workload(
+                small_rmat,
+                reported_vertices=small_rmat.num_vertices * 100,
+                reported_edges=small_rmat.num_edges * 100,
+            ),
+        ).report
+        assert scaled.edges_traversed == pytest.approx(
+            100 * small.edges_traversed
+        )
+        assert scaled.total_energy > 10 * small.total_energy
+
+    def test_cc_streams_both_directions(self, small_rmat):
+        report = AcceleratorMachine().run(
+            ConnectedComponents(), small_rmat
+        ).report
+        per_iter = report.edges_traversed / report.iterations
+        assert per_iter == 2 * small_rmat.num_edges
+
+
+class TestFactory:
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigError):
+            make_machine("acc+Optane")
+
+    def test_label_passthrough(self):
+        assert make_machine("acc+DRAM").label == "acc+DRAM"

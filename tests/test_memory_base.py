@@ -1,0 +1,148 @@
+"""Tests for the memory device base abstractions."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory import (
+    AccessCost,
+    AccessKind,
+    AccessPattern,
+    DeviceTimings,
+    MemoryStats,
+    TimingsDevice,
+)
+from repro.units import NS, PJ
+
+
+@pytest.fixture
+def timings():
+    return DeviceTimings(
+        access_bits=512,
+        read_energy=100 * PJ,
+        write_energy=200 * PJ,
+        read_latency=2 * NS,
+        write_latency=10 * NS,
+        random_read_latency=30 * NS,
+        random_write_latency=40 * NS,
+        random_read_energy=120 * PJ,
+        random_write_energy=220 * PJ,
+        standby_power=0.01,
+        gated_power=0.001,
+    )
+
+
+@pytest.fixture
+def device(timings):
+    return TimingsDevice(timings)
+
+
+class TestAccessCost:
+    def test_rejects_negative(self):
+        with pytest.raises(MemoryModelError):
+            AccessCost(-1.0, 0.0)
+        with pytest.raises(MemoryModelError):
+            AccessCost(0.0, -1.0)
+
+    def test_scaled(self):
+        cost = AccessCost(2.0, 3.0).scaled(4)
+        assert cost.latency == 8.0
+        assert cost.energy == 12.0
+
+
+class TestDeviceTimings:
+    def test_rejects_zero_width(self):
+        with pytest.raises(MemoryModelError):
+            DeviceTimings(0, 1, 1, 1, 1)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(MemoryModelError):
+            DeviceTimings(512, -1, 1, 1, 1)
+
+    def test_energy_per_bit(self, timings):
+        assert timings.energy_per_bit() == pytest.approx(100 * PJ / 512)
+        assert timings.energy_per_bit(AccessKind.WRITE) == pytest.approx(
+            200 * PJ / 512
+        )
+
+
+class TestTimingsDevice:
+    def test_sequential_read(self, device):
+        cost = device.access_cost(AccessKind.READ, AccessPattern.SEQUENTIAL)
+        assert cost.energy == 100 * PJ
+        assert cost.latency == 2 * NS
+
+    def test_random_read_uses_random_fields(self, device):
+        cost = device.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+        assert cost.latency == 30 * NS
+        assert cost.energy == 120 * PJ
+
+    def test_random_falls_back_to_sequential(self):
+        dev = TimingsDevice(DeviceTimings(512, 1 * PJ, 2 * PJ, 1 * NS, 2 * NS))
+        cost = dev.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+        assert cost.energy == 1 * PJ
+        assert cost.latency == 1 * NS
+
+
+class TestTransferCost:
+    def test_bulk_sequential_is_exact_ratio(self, device):
+        cost = device.transfer_cost(
+            AccessKind.READ, 256, AccessPattern.SEQUENTIAL
+        )
+        assert cost.energy == pytest.approx(50 * PJ)
+
+    def test_random_rounds_up(self, device):
+        cost = device.transfer_cost(AccessKind.READ, 32, AccessPattern.RANDOM)
+        assert cost.energy == pytest.approx(120 * PJ)  # full access
+
+    def test_zero_bits_free(self, device):
+        cost = device.transfer_cost(AccessKind.READ, 0, AccessPattern.RANDOM)
+        assert cost.energy == 0.0 and cost.latency == 0.0
+
+    def test_rejects_negative_bits(self, device):
+        with pytest.raises(MemoryModelError):
+            device.transfer_cost(AccessKind.READ, -1, AccessPattern.RANDOM)
+
+
+class TestStats:
+    def test_read_write_recorded(self, device):
+        device.read(1024, AccessPattern.SEQUENTIAL)
+        device.write(512, AccessPattern.SEQUENTIAL, count=3)
+        assert device.stats.reads == 1
+        assert device.stats.writes == 3
+        assert device.stats.read_bits == 1024
+        assert device.stats.write_bits == 3 * 512
+        assert device.stats.dynamic_energy > 0
+
+    def test_reset(self, device):
+        device.read(512, AccessPattern.SEQUENTIAL)
+        device.reset_stats()
+        assert device.stats.reads == 0
+        assert device.stats.dynamic_energy == 0.0
+
+    def test_merged(self):
+        a = MemoryStats(reads=1, read_bits=64, dynamic_energy=1.0)
+        b = MemoryStats(writes=2, write_bits=128, busy_time=0.5)
+        m = a.merged(b)
+        assert m.reads == 1 and m.writes == 2
+        assert m.read_bits == 64 and m.write_bits == 128
+
+
+class TestBackground:
+    def test_full_power(self, device):
+        assert device.background_energy(10.0) == pytest.approx(0.1)
+
+    def test_gated(self, device):
+        energy = device.background_energy(10.0, gated_fraction=1.0)
+        assert energy == pytest.approx(0.01)
+
+    def test_partial_gating_interpolates(self, device):
+        half = device.background_energy(10.0, gated_fraction=0.5)
+        assert half == pytest.approx((0.01 + 0.001) / 2 * 10)
+
+    def test_rejects_negative_duration(self, device):
+        with pytest.raises(MemoryModelError):
+            device.background_energy(-1.0)
+
+    def test_rejects_bad_fraction(self, device):
+        with pytest.raises(MemoryModelError):
+            device.background_energy(1.0, gated_fraction=1.5)

@@ -1,0 +1,119 @@
+"""Tests for the general model of Section 6.1 (Equations (1)-(6))."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.model.equations import (
+    ModelCosts,
+    ModelCounts,
+    OperationCost,
+    edp,
+    edp_lower_bound,
+    energy,
+    execution_time,
+    graphr_counts,
+    hyve_counts,
+)
+
+
+def costs(**overrides):
+    base = dict(
+        read_edge=OperationCost(1e-9, 10e-12),
+        read_vertex_seq=OperationCost(2e-9, 20e-12),
+        write_vertex_seq=OperationCost(3e-9, 30e-12),
+        read_vertex_rand=OperationCost(1e-9, 25e-12),
+        write_vertex_rand=OperationCost(1e-9, 25e-12),
+        process=OperationCost(1.5e-9, 4e-12),
+    )
+    base.update(overrides)
+    return ModelCosts(**base)
+
+
+class TestCounts:
+    def test_random_traffic_tied_to_edges(self):
+        counts = ModelCounts(100.0, 10.0, 5.0)
+        assert counts.vertex_rand_reads == 100.0
+        assert counts.vertex_rand_writes == 100.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            ModelCounts(-1.0, 0.0, 0.0)
+
+    def test_operation_cost_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            OperationCost(-1.0, 0.0)
+
+
+class TestExecutionTime:
+    def test_pipeline_uses_slowest_stage(self):
+        counts = ModelCounts(edge_reads=10.0, vertex_seq_reads=0.0,
+                             vertex_seq_writes=0.0)
+        c = costs(process=OperationCost(7e-9, 1e-12))
+        assert execution_time(counts, c) == pytest.approx(10 * 7e-9)
+
+    def test_sequential_phases_add(self):
+        counts = ModelCounts(edge_reads=0.0, vertex_seq_reads=4.0,
+                             vertex_seq_writes=2.0)
+        assert execution_time(counts, costs()) == pytest.approx(
+            4 * 2e-9 + 2 * 3e-9
+        )
+
+
+class TestEnergy:
+    def test_equation2_terms(self):
+        counts = ModelCounts(edge_reads=1.0, vertex_seq_reads=1.0,
+                             vertex_seq_writes=1.0)
+        c = costs()
+        expected = (
+            20e-12            # seq read
+            + 2 * 25e-12      # two random reads per edge
+            + 10e-12          # edge read
+            + 4e-12           # pu
+            + 25e-12          # random write
+            + 30e-12          # seq write
+        )
+        assert energy(counts, c) == pytest.approx(expected)
+
+
+class TestEdpBound:
+    def test_bound_holds_on_example(self):
+        counts = ModelCounts(1000.0, 100.0, 50.0)
+        c = costs()
+        assert edp(counts, c) >= edp_lower_bound(counts, c) * 0.999
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e9),
+        st.floats(min_value=0.0, max_value=1e8),
+        st.floats(min_value=0.0, max_value=1e8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cauchy_schwarz_bound_always_holds(self, e, rs, ws):
+        counts = ModelCounts(e, rs, ws)
+        c = costs()
+        assert edp(counts, c) >= edp_lower_bound(counts, c) * (1 - 1e-9)
+
+
+class TestCountConstructors:
+    def test_hyve_equation8(self):
+        counts = hyve_counts(1000.0, 5000.0, num_intervals=40, num_pus=8,
+                             iterations=3)
+        assert counts.vertex_seq_reads == pytest.approx(5 * 1000 * 3)
+        assert counts.vertex_seq_writes == pytest.approx(1000 * 3)
+        assert counts.edge_reads == pytest.approx(15000)
+
+    def test_graphr_equation9(self):
+        counts = graphr_counts(1000.0, 5000.0, nonempty_blocks=3000.0)
+        assert counts.vertex_seq_reads == pytest.approx(16 * 3000)
+
+    def test_graphr_reads_dwarf_hyve_reads(self):
+        # The Section 6.3 point: 16 * E/N_avg >> (P/N) * N_v.
+        hyve = hyve_counts(1e6, 14e6, 40, 8)
+        graphr = graphr_counts(1e6, 14e6, 14e6 / 1.5)
+        assert graphr.vertex_seq_reads > 10 * hyve.vertex_seq_reads
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            hyve_counts(1.0, 1.0, 0, 8)
+        with pytest.raises(ConfigError):
+            graphr_counts(1.0, 1.0, -1.0)

@@ -1,0 +1,159 @@
+"""Tests for the NVSim-lite calibrated device solver."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory import (
+    NvSimLite,
+    OptimizationTarget,
+    ReRAMCellParams,
+    TABLE3_CALIBRATION,
+    best_energy_point,
+    solve_sram,
+    table3,
+)
+from repro.units import MB, PJ, PS
+
+
+class TestTable3Calibration:
+    """Table 3 of the paper must reproduce exactly."""
+
+    PAPER_ROWS = {
+        ("energy", 64): (20.13, 1221, 0.26),
+        ("energy", 128): (33.87, 1983, 0.13),
+        ("energy", 256): (57.31, 1983, 0.11),
+        ("energy", 512): (102.07, 1983, 0.10),
+        ("latency", 64): (381.47, 653, 9.13),
+        ("latency", 128): (378.57, 590, 5.01),
+        ("latency", 256): (382.37, 590, 2.53),
+        ("latency", 512): (660.23, 527, 2.45),
+    }
+
+    @pytest.mark.parametrize("target,bits", list(PAPER_ROWS))
+    def test_energy_and_period_exact(self, target, bits):
+        rows = {(r["target"], r["output_bits"]): r for r in table3()}
+        row = rows[(target, bits)]
+        energy, period, power = self.PAPER_ROWS[(target, bits)]
+        assert row["energy_pj"] == pytest.approx(energy)
+        assert row["period_ps"] == pytest.approx(period)
+        assert row["mw_per_bit"] == pytest.approx(power, abs=0.005)
+
+    def test_best_point_is_energy_512(self):
+        point = best_energy_point()
+        assert point.output_bits == 512
+        assert point.target is OptimizationTarget.ENERGY
+        assert point.calibrated
+        # 0.10 mW/bit: the minimum of the table.
+        assert point.mw_per_bit() == pytest.approx(0.10, abs=0.005)
+
+    def test_calibration_table_has_eight_points(self):
+        assert len(TABLE3_CALIBRATION) == 8
+
+
+class TestAnalyticFallback:
+    def test_off_table_width_uses_analytic_model(self):
+        point = NvSimLite().solve(1024)
+        assert not point.calibrated
+        assert point.read_energy > 102.07 * PJ  # wider than 512
+
+    def test_analytic_close_to_calibration(self):
+        # The fitted component model should land within 10% of the
+        # published points it was fitted against.
+        for (target, bits), (energy, _) in TABLE3_CALIBRATION.items():
+            solver = NvSimLite()
+            analytic, _ = solver._analytic_read(bits, target)
+            assert analytic == pytest.approx(energy, rel=0.12)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(MemoryModelError):
+            NvSimLite().solve(0)
+
+
+class TestMLC:
+    def test_mlc_points_not_calibrated(self):
+        point = NvSimLite(ReRAMCellParams(cell_bits=2)).solve(512)
+        assert not point.calibrated
+
+    def test_more_cell_bits_more_read_energy(self):
+        energies = [
+            NvSimLite(ReRAMCellParams(cell_bits=b)).solve(512).read_energy
+            for b in (1, 2, 3)
+        ]
+        assert energies[0] < energies[1] < energies[2]
+
+    def test_more_cell_bits_slower(self):
+        periods = [
+            NvSimLite(ReRAMCellParams(cell_bits=b)).solve(512).read_period
+            for b in (1, 2, 3)
+        ]
+        assert periods[0] < periods[1] < periods[2]
+
+    def test_sense_levels(self):
+        assert ReRAMCellParams(cell_bits=1).sense_levels == 1
+        assert ReRAMCellParams(cell_bits=2).sense_levels == 3
+        assert ReRAMCellParams(cell_bits=3).sense_levels == 7
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(MemoryModelError):
+            ReRAMCellParams(cell_bits=0)
+
+    def test_rejects_inverted_resistances(self):
+        with pytest.raises(MemoryModelError):
+            ReRAMCellParams(on_resistance=1e7, off_resistance=1e5)
+
+    def test_resistance_ratio(self):
+        assert ReRAMCellParams().resistance_ratio == pytest.approx(100.0)
+
+
+class TestWrites:
+    def test_write_scales_with_verify_rounds(self):
+        one = NvSimLite(write_verify_rounds=1).solve(512)
+        three = NvSimLite(write_verify_rounds=3).solve(512)
+        assert three.write_energy > one.write_energy
+        assert three.write_latency == pytest.approx(3 * one.write_latency)
+
+    def test_write_latency_is_pulse_times_rounds(self):
+        point = NvSimLite(write_verify_rounds=2).solve(512)
+        assert point.write_latency == pytest.approx(20e-9)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(MemoryModelError):
+            NvSimLite(write_verify_rounds=0)
+
+    def test_write_energy_exceeds_read_energy(self):
+        point = best_energy_point()
+        assert point.write_energy > point.read_energy
+
+
+class TestSRAM:
+    def test_anchor_point(self):
+        point = solve_sram(2 * MB)
+        assert point.read_energy == pytest.approx(23.84 * PJ)
+        assert point.read_latency == pytest.approx(960.03 * PS)
+        assert point.write_energy == pytest.approx(24.74 * PJ)
+        assert point.write_latency == pytest.approx(557.089 * PS)
+
+    def test_four_mb_latency_matches_paper_cycle_ratio(self):
+        # Paper: 1.071 ns at 2 MB -> 1.808 ns at 4 MB.
+        two = solve_sram(2 * MB)
+        four = solve_sram(4 * MB)
+        assert four.read_latency / two.read_latency == pytest.approx(
+            1.808 / 1.071, rel=1e-6
+        )
+
+    def test_energy_grows_sublinearly(self):
+        two = solve_sram(2 * MB)
+        eight = solve_sram(8 * MB)
+        assert two.read_energy < eight.read_energy < 4 * two.read_energy
+
+    def test_leakage_linear_in_capacity(self):
+        two = solve_sram(2 * MB)
+        four = solve_sram(4 * MB)
+        assert four.leakage_power == pytest.approx(2 * two.leakage_power)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(MemoryModelError):
+            solve_sram(0)
+
+    def test_capacity_mb_property(self):
+        assert solve_sram(16 * MB).capacity_mb == pytest.approx(16.0)

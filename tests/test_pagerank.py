@@ -1,0 +1,101 @@
+"""Tests for edge-centric PageRank."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, run_vectorized
+from repro.graph import Graph, cycle, star
+
+
+class TestCorrectness:
+    def test_matches_networkx(self, small_rmat):
+        g = small_rmat.deduplicated()
+        run = run_vectorized(PageRank(iterations=80), g)
+        reference = nx.pagerank(g.to_networkx(), alpha=0.85, max_iter=200)
+        for v in range(g.num_vertices):
+            assert run.values[v] == pytest.approx(reference[v], abs=1e-5)
+
+    def test_cycle_is_uniform(self):
+        run = run_vectorized(PageRank(), cycle(10))
+        np.testing.assert_allclose(run.values, 0.1, rtol=1e-9)
+
+    def test_hub_of_star_has_low_rank(self):
+        run = run_vectorized(PageRank(iterations=30), star(20))
+        # All rank flows away from the hub.
+        assert run.values[0] < run.values[1]
+
+    def test_sums_to_one(self, medium_rmat):
+        run = run_vectorized(PageRank(), medium_rmat)
+        assert run.values.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_dangling_mass_redistributed(self):
+        # Vertex 2 has no out-edges.
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        run = run_vectorized(PageRank(iterations=60), g)
+        assert run.values.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (run.values > 0).all()
+
+    def test_all_dangling(self):
+        g = Graph.empty(4)
+        run = run_vectorized(PageRank(iterations=5), g)
+        np.testing.assert_allclose(run.values, 0.25)
+
+
+class TestConfiguration:
+    def test_fixed_iteration_count(self, small_rmat):
+        run = run_vectorized(PageRank(iterations=10), small_rmat)
+        assert run.iterations == 10
+
+    def test_paper_default_is_ten_iterations(self):
+        assert PageRank().iterations == 10
+
+    def test_vertex_record_is_wide(self):
+        assert PageRank().vertex_bits == 64
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.0)
+        with pytest.raises(ValueError):
+            PageRank(damping=-0.1)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            PageRank(iterations=0)
+
+    def test_zero_damping_is_uniform(self, small_rmat):
+        run = run_vectorized(PageRank(damping=0.0, iterations=3), small_rmat)
+        np.testing.assert_allclose(
+            run.values, 1.0 / small_rmat.num_vertices
+        )
+
+    def test_edge_bits_unweighted(self):
+        assert PageRank().edge_bits == 64
+
+
+class TestTolerance:
+    def test_tolerance_mode_converges(self, small_rmat):
+        from repro.algorithms import run_vectorized
+
+        run = run_vectorized(PageRank(tolerance=1e-10), small_rmat)
+        reference = run_vectorized(PageRank(iterations=100), small_rmat)
+        np.testing.assert_allclose(run.values, reference.values, atol=1e-8)
+
+    def test_tighter_tolerance_more_iterations(self, small_rmat):
+        from repro.algorithms import run_vectorized
+
+        loose = run_vectorized(PageRank(tolerance=1e-3), small_rmat)
+        tight = run_vectorized(PageRank(tolerance=1e-12), small_rmat)
+        assert tight.iterations > loose.iterations
+
+    def test_rejects_non_positive_tolerance(self):
+        with pytest.raises(ValueError):
+            PageRank(tolerance=0.0)
+
+    def test_tolerance_runs_not_conflated_in_cache(self, small_rmat):
+        from repro.algorithms import clear_run_cache, run_cached
+
+        clear_run_cache()
+        fixed = run_cached(PageRank(iterations=5), small_rmat)
+        tol = run_cached(PageRank(iterations=5, tolerance=1e-9), small_rmat)
+        assert fixed.iterations != tol.iterations

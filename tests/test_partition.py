@@ -1,0 +1,161 @@
+"""Tests for interval-block partitioning (Fig. 1, Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import Graph, IntervalBlockPartition, interval_bounds, interval_of
+
+
+class TestIntervalBounds:
+    def test_even_split(self):
+        bounds = interval_bounds(8, 4)
+        assert bounds.tolist() == [0, 2, 4, 6, 8]
+
+    def test_uneven_split_front_loads_extras(self):
+        bounds = interval_bounds(10, 4)
+        assert bounds.tolist() == [0, 3, 6, 8, 10]
+
+    def test_single_interval(self):
+        assert interval_bounds(5, 1).tolist() == [0, 5]
+
+    def test_rejects_zero_intervals(self):
+        with pytest.raises(PartitionError):
+            interval_bounds(5, 0)
+
+    def test_interval_of(self):
+        bounds = interval_bounds(8, 4)
+        vertices = np.array([0, 1, 2, 5, 7])
+        assert interval_of(vertices, bounds).tolist() == [0, 0, 1, 2, 3]
+
+
+class TestFig1Example:
+    """The partition of the paper's running example must match Fig. 1."""
+
+    def test_edge_e24_lands_in_block_1_2(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        src, dst = p.block_edges(1, 2)
+        assert (2, 4) in set(zip(src.tolist(), dst.tolist()))
+
+    def test_block_contents(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        src, dst = p.block_edges(0, 0)
+        assert set(zip(src.tolist(), dst.tolist())) == {(1, 0)}
+        src, dst = p.block_edges(3, 0)
+        assert set(zip(src.tolist(), dst.tolist())) == {(6, 0), (7, 1)}
+
+    def test_interval_sizes(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        assert p.interval_sizes().tolist() == [2, 2, 2, 2]
+
+
+class TestInvariants:
+    def test_every_edge_in_exactly_one_block(self, medium_rmat):
+        p = IntervalBlockPartition.build(medium_rmat, 16)
+        total = sum(
+            p.block_edge_count(i, j) for i in range(16) for j in range(16)
+        )
+        assert total == medium_rmat.num_edges
+
+    def test_block_counts_matrix_sums(self, medium_rmat):
+        p = IntervalBlockPartition.build(medium_rmat, 16)
+        assert p.block_counts.sum() == medium_rmat.num_edges
+
+    def test_block_edges_belong_to_their_intervals(self, medium_rmat):
+        p = IntervalBlockPartition.build(medium_rmat, 8)
+        for i in range(8):
+            for j in range(8):
+                src, dst = p.block_edges(i, j)
+                if src.size == 0:
+                    continue
+                assert (src >= p.bounds[i]).all()
+                assert (src < p.bounds[i + 1]).all()
+                assert (dst >= p.bounds[j]).all()
+                assert (dst < p.bounds[j + 1]).all()
+
+    def test_block_edge_indices_are_a_partition(self, small_rmat):
+        p = IntervalBlockPartition.build(small_rmat, 4)
+        seen = np.concatenate(
+            [p.block_edge_indices(i, j) for i in range(4) for j in range(4)]
+        )
+        assert sorted(seen.tolist()) == list(range(small_rmat.num_edges))
+
+    def test_empty_graph(self):
+        p = IntervalBlockPartition.build(Graph.empty(10), 5)
+        assert p.nonempty_blocks() == 0
+        assert p.occupancy() == 0.0
+
+
+class TestValidation:
+    def test_rejects_zero_intervals(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            IntervalBlockPartition.build(tiny_graph, 0)
+
+    def test_rejects_more_intervals_than_vertices(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            IntervalBlockPartition.build(tiny_graph, 100)
+
+    def test_block_index_out_of_range(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        with pytest.raises(PartitionError):
+            p.block_edge_count(4, 0)
+        with pytest.raises(PartitionError):
+            p.block_edges(0, -1)
+
+    def test_interval_index_out_of_range(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        with pytest.raises(PartitionError):
+            p.interval_size(4)
+
+
+class TestSuperBlocks:
+    def test_count(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        assert p.num_super_blocks(2) == 4
+        assert p.num_super_blocks(4) == 1
+
+    def test_requires_divisibility(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        with pytest.raises(PartitionError):
+            p.num_super_blocks(3)
+
+    def test_super_block_counts_sum(self, medium_rmat):
+        p = IntervalBlockPartition.build(medium_rmat, 16)
+        sb = p.super_block_counts(4)
+        assert sb.shape == (4, 4)
+        assert sb.sum() == medium_rmat.num_edges
+
+    def test_step_counts_cover_all_blocks(self, medium_rmat):
+        n = 4
+        p = IntervalBlockPartition.build(medium_rmat, 8)
+        steps = p.super_block_step_counts(n)
+        assert steps.shape == (2, 2, n, n)
+        assert steps.sum() == medium_rmat.num_edges
+
+    def test_step_counts_round_robin_assignment(self, tiny_graph):
+        # With P = N = 4 there is one super block; step s, PU k processes
+        # block ((k + s) % 4, k).
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        steps = p.super_block_step_counts(4)
+        for s in range(4):
+            for k in range(4):
+                expected = p.block_edge_count((k + s) % 4, k)
+                assert steps[0, 0, s, k] == expected
+
+
+class TestStats:
+    def test_nonempty_blocks(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        assert p.nonempty_blocks() == np.count_nonzero(p.block_counts)
+
+    def test_occupancy_bounds(self, medium_rmat):
+        p = IntervalBlockPartition.build(medium_rmat, 8)
+        assert 0.0 < p.occupancy() <= 1.0
+
+    def test_max_interval_size(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        assert p.max_interval_size() == 2
+
+    def test_interval_vertices(self, tiny_graph):
+        p = IntervalBlockPartition.build(tiny_graph, 4)
+        assert p.interval_vertices(1).tolist() == [2, 3]

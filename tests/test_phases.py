@@ -1,0 +1,138 @@
+"""Tests for the Algorithm-2 phase timeline (Section 4.3)."""
+
+import pytest
+
+from repro.algorithms import BFS, PageRank
+from repro.arch.config import HyVEConfig, MemoryTechnology
+from repro.arch.phases import Phase, PhaseKind, phase_profile, schedule_phases
+from repro.errors import ConfigError
+from repro.graph import rmat
+from repro.memory.powergate import PowerGatingPolicy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(512, 4096, seed=71, name="phases")
+
+
+@pytest.fixture(scope="module")
+def phases(graph):
+    return schedule_phases(PageRank(), graph, HyVEConfig(num_intervals=16))
+
+
+class TestTimeline:
+    def test_contiguous_and_ordered(self, phases):
+        assert phases[0].start == 0.0
+        for a, b in zip(phases, phases[1:]):
+            assert b.start == pytest.approx(a.end)
+        assert all(p.duration >= 0 for p in phases)
+
+    def test_all_six_kinds_present(self, phases):
+        kinds = {p.kind for p in phases}
+        assert kinds == set(PhaseKind)
+
+    def test_processing_streams_every_edge(self, phases, graph):
+        streamed_bits = sum(
+            p.data_bits for p in phases if p.kind is PhaseKind.PROCESSING
+        )
+        assert streamed_bits == graph.num_edges * 64
+
+    def test_step_count(self, phases):
+        # P=16, N=8 -> (P/N)^2 super blocks x N steps = 4 x 8 barriers.
+        barriers = [p for p in phases if p.kind is PhaseKind.SYNCHRONIZING]
+        assert len(barriers) == 4 * 8
+
+    def test_updating_once_per_column(self, phases):
+        updates = [p for p in phases if p.kind is PhaseKind.UPDATING]
+        assert len(updates) == 2  # q = P/N = 2 columns
+
+    def test_loading_covers_all_vertices(self, phases, graph):
+        dst_loads = [
+            p for p in phases
+            if p.kind is PhaseKind.LOADING and "destination" in p.detail
+        ]
+        total_bits = sum(p.data_bits for p in dst_loads)
+        assert total_bits == graph.num_vertices * 64  # PR: 64-bit records
+
+
+class TestConfigurationEffects:
+    def test_no_sharing_skips_rerouting(self, graph):
+        config = HyVEConfig(
+            label="ns",
+            num_intervals=16,
+            data_sharing=False,
+            power_gating=PowerGatingPolicy(enabled=False),
+        )
+        phases = schedule_phases(PageRank(), graph, config)
+        assert not any(p.kind is PhaseKind.REROUTING for p in phases)
+
+    def test_iterations_scale_timeline(self, graph):
+        one = schedule_phases(BFS(0), graph, HyVEConfig(num_intervals=16),
+                              iterations=1)
+        two = schedule_phases(BFS(0), graph, HyVEConfig(num_intervals=16),
+                              iterations=2)
+        assert len(two) == 2 * len(one)
+
+    def test_requires_scratchpad(self, graph):
+        config = HyVEConfig(
+            label="raw",
+            onchip_vertex=MemoryTechnology.NONE,
+            data_sharing=False,
+        )
+        with pytest.raises(ConfigError):
+            schedule_phases(PageRank(), graph, config)
+
+    def test_rejects_zero_iterations(self, graph):
+        with pytest.raises(ConfigError):
+            schedule_phases(PageRank(), graph, iterations=0)
+
+
+class TestProfile:
+    def test_profile_sums_to_timeline(self, phases):
+        profile = phase_profile(phases)
+        assert sum(profile.values()) == pytest.approx(phases[-1].end)
+
+    def test_processing_dominates(self, phases):
+        profile = phase_profile(phases)
+        assert profile["Processing"] == max(profile.values())
+
+    def test_phase_end_property(self):
+        phase = Phase(PhaseKind.LOADING, 1.0, 0.5, "x")
+        assert phase.end == 1.5
+
+
+class TestCrossCheckWithScheduleCounts:
+    """The phase timeline and the analytic counts must agree on data
+    volumes for a fully-active algorithm (PageRank)."""
+
+    def test_loading_volume_matches_equation8(self, graph):
+        from repro.algorithms import PageRank, run_cached
+        from repro.arch.config import Workload
+        from repro.arch.scheduler import ScheduleCounts
+
+        config = HyVEConfig(num_intervals=16)
+        phases = schedule_phases(PageRank(), graph, config, iterations=1)
+        run = run_cached(PageRank(), graph)
+        counts = ScheduleCounts.compute(run, Workload(graph), config)
+
+        load_bits = sum(
+            p.data_bits for p in phases if p.kind is PhaseKind.LOADING
+        )
+        per_iteration = counts.offchip_load_bits / counts.iterations
+        assert load_bits == pytest.approx(per_iteration)
+
+    def test_updating_volume_matches_equation7(self, graph):
+        from repro.algorithms import PageRank, run_cached
+        from repro.arch.config import Workload
+        from repro.arch.scheduler import ScheduleCounts
+
+        config = HyVEConfig(num_intervals=16)
+        phases = schedule_phases(PageRank(), graph, config, iterations=1)
+        run = run_cached(PageRank(), graph)
+        counts = ScheduleCounts.compute(run, Workload(graph), config)
+
+        store_bits = sum(
+            p.data_bits for p in phases if p.kind is PhaseKind.UPDATING
+        )
+        per_iteration = counts.offchip_store_bits / counts.iterations
+        assert store_bits == pytest.approx(per_iteration)

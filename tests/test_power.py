@@ -1,0 +1,66 @@
+"""Tests for the power-over-time profile."""
+
+import pytest
+
+from repro.algorithms import BFS, PageRank
+from repro.arch.config import HyVEConfig, MemoryTechnology
+from repro.arch.phases import PhaseKind
+from repro.arch.power import power_profile
+from repro.graph import rmat
+from repro.memory.powergate import PowerGatingPolicy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(2048, 16384, seed=101, name="power")
+
+
+@pytest.fixture(scope="module")
+def profile(graph):
+    return power_profile(PageRank(), graph, HyVEConfig(num_intervals=16))
+
+
+class TestProfile:
+    def test_positive_and_bounded(self, profile):
+        assert 0 < profile.average_power <= profile.peak_power
+
+    def test_samples_cover_schedule(self, profile):
+        kinds = {s.phase.kind for s in profile.samples}
+        assert kinds == set(PhaseKind)
+
+    def test_processing_draws_most_power(self, profile):
+        by_kind = profile.by_kind()
+        assert by_kind["Processing"] == max(by_kind.values())
+
+    def test_background_never_negative(self, profile):
+        assert all(s.background_power > 0 for s in profile.samples)
+        assert all(s.dynamic_power >= 0 for s in profile.samples)
+
+
+class TestGatingVisibleInPower:
+    def test_gating_lowers_average_power(self, graph):
+        gated = power_profile(PageRank(), graph,
+                              HyVEConfig(num_intervals=16))
+        ungated = power_profile(
+            PageRank(), graph,
+            HyVEConfig(label="npg", num_intervals=16,
+                       power_gating=PowerGatingPolicy(enabled=False)),
+        )
+        assert gated.average_power < ungated.average_power
+
+    def test_hyve_draws_less_than_sd(self, graph):
+        hyve = power_profile(PageRank(), graph,
+                             HyVEConfig(num_intervals=16))
+        sd = power_profile(
+            PageRank(), graph,
+            HyVEConfig(label="sd", num_intervals=16,
+                       edge_memory=MemoryTechnology.DRAM,
+                       power_gating=PowerGatingPolicy(enabled=False)),
+        )
+        assert hyve.average_power < sd.average_power
+        assert hyve.peak_power <= sd.peak_power
+
+    def test_bfs_profile_works(self, graph):
+        profile = power_profile(BFS(0), graph,
+                                HyVEConfig(num_intervals=16))
+        assert profile.average_power > 0

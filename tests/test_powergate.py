@@ -1,0 +1,85 @@
+"""Tests for the bank-level power-gating model (Section 4.1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import BankPowerGating, PowerGatingPolicy
+from repro.units import GBIT, NJ, NS, US
+
+
+def plan(policy=None, num_banks=8, active=1, streamed=4 * GBIT,
+         bank_capacity=GBIT // 2, duration=0.1):
+    gater = BankPowerGating(policy or PowerGatingPolicy())
+    return gater.plan(num_banks, active, streamed, bank_capacity, duration)
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = PowerGatingPolicy()
+        assert policy.enabled
+        assert policy.idle_timeout == pytest.approx(1 * US)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            PowerGatingPolicy(idle_timeout=-1.0)
+        with pytest.raises(ConfigError):
+            PowerGatingPolicy(wake_energy=-1.0)
+
+
+class TestPlan:
+    def test_disabled_gates_nothing(self):
+        report = plan(PowerGatingPolicy(enabled=False))
+        assert report.gated_fraction == 0.0
+        assert report.transitions == 0
+        assert report.overhead_energy == 0.0
+
+    def test_sequential_stream_gates_most_banks(self):
+        report = plan()
+        assert report.gated_fraction > 0.8
+
+    def test_all_banks_active_gates_nothing(self):
+        # Bank interleaving: every bank busy.
+        report = plan(active=8)
+        assert report.gated_fraction == 0.0
+
+    def test_transitions_count_bank_crossings(self):
+        report = plan(streamed=4 * GBIT, bank_capacity=GBIT)
+        assert report.transitions == 4
+
+    def test_no_stream_no_transitions(self):
+        report = plan(streamed=0)
+        assert report.transitions == 0
+        assert report.overhead_energy == 0.0
+
+    def test_overhead_energy_scales_with_transitions(self):
+        policy = PowerGatingPolicy(wake_energy=1 * NJ)
+        few = plan(policy, streamed=2 * GBIT, bank_capacity=GBIT)
+        many = plan(policy, streamed=8 * GBIT, bank_capacity=GBIT)
+        assert many.overhead_energy == pytest.approx(4 * few.overhead_energy)
+
+    def test_long_timeout_reduces_gated_fraction(self):
+        short = plan(PowerGatingPolicy(idle_timeout=0.1 * US))
+        long = plan(PowerGatingPolicy(idle_timeout=1000 * US))
+        assert long.gated_fraction < short.gated_fraction
+
+    def test_gated_fraction_bounded(self):
+        # Timeout so long nothing ever gates; fraction floors at 0.
+        report = plan(PowerGatingPolicy(idle_timeout=1e6 * US))
+        assert 0.0 <= report.gated_fraction <= 1.0
+
+    def test_overhead_time_small(self):
+        policy = PowerGatingPolicy(wake_latency=50 * NS)
+        report = plan(policy)
+        # Pre-waking hides most of the wake latency.
+        assert report.overhead_time < report.transitions * 50 * NS
+
+    def test_rejects_bad_inputs(self):
+        gater = BankPowerGating()
+        with pytest.raises(ConfigError):
+            gater.plan(0, 1, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            gater.plan(8, 9, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            gater.plan(8, 1, -1.0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            gater.plan(8, 1, 1.0, 0.0, 1.0)

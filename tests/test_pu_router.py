@@ -1,0 +1,75 @@
+"""Tests for the processing-unit and router models."""
+
+import pytest
+
+from repro.arch import params
+from repro.arch.processing_unit import ProcessingUnitModel
+from repro.arch.router import RouterModel
+from repro.errors import ConfigError
+from repro.memory.nvsim import solve_sram
+from repro.units import MB, NS
+
+
+@pytest.fixture
+def pu():
+    return ProcessingUnitModel(sram_cycle=solve_sram(2 * MB).read_latency)
+
+
+class TestProcessingUnit:
+    def test_initiation_interval_is_scratchpad_bound(self, pu):
+        # 3 accesses over 2 ports -> 1.5 SRAM cycles per edge.
+        assert pu.initiation_interval == pytest.approx(1.5 * pu.sram_cycle)
+
+    def test_mv_vs_traversal_energy(self, pu):
+        assert pu.op_energy("PR") == params.PU_OP_ENERGY_MV
+        assert pu.op_energy("SpMV") == params.PU_OP_ENERGY_MV
+        assert pu.op_energy("BFS") == params.PU_OP_ENERGY_NON_MV
+        assert pu.op_energy("BFS") < pu.op_energy("PR")
+
+    def test_pipeline_fill_is_multiplier_latency(self, pu):
+        assert pu.pipeline_fill() == pytest.approx(18.783 * NS)
+
+    def test_rejects_zero_cycle(self):
+        with pytest.raises(ConfigError):
+            ProcessingUnitModel(sram_cycle=0.0)
+
+    def test_paper_multiplier_energy(self):
+        # 3.7 pJ for the 32-bit float multiplier [34].
+        assert params.PU_OP_ENERGY_MV == pytest.approx(3.7e-12)
+
+
+class TestRouter:
+    def test_transfer_energy_linear(self):
+        router = RouterModel(8)
+        assert router.transfer_energy(100) == pytest.approx(
+            100 * params.ROUTER_HOP_ENERGY_PER_WORD
+        )
+
+    def test_reroute_energy(self):
+        router = RouterModel(8)
+        assert router.reroute_energy(10) == pytest.approx(
+            10 * params.ROUTER_REROUTE_ENERGY
+        )
+
+    def test_fill_latency(self):
+        router = RouterModel(8)
+        assert router.fill_latency(5) == pytest.approx(
+            5 * params.ROUTER_FILL_LATENCY
+        )
+
+    def test_remote_access_latency_about_10ns(self):
+        # Paper: "access latency of the remote interval is ~10 ns".
+        assert params.ROUTER_FILL_LATENCY == pytest.approx(10 * NS)
+
+    def test_rejects_negative_inputs(self):
+        router = RouterModel(4)
+        with pytest.raises(ConfigError):
+            router.transfer_energy(-1)
+        with pytest.raises(ConfigError):
+            router.reroute_energy(-1)
+        with pytest.raises(ConfigError):
+            router.fill_latency(-1)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ConfigError):
+            RouterModel(0)

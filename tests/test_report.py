@@ -1,0 +1,105 @@
+"""Tests for the energy report container."""
+
+import pytest
+
+from repro.arch.report import (
+    ALL_COMPONENTS,
+    BREAKDOWN_BUCKETS,
+    EDGE_MEMORY,
+    EnergyReport,
+    LOGIC_BG,
+    ONCHIP_VERTEX,
+    PROCESSING,
+    efficiency_ratio,
+    geomean,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def report():
+    r = EnergyReport(
+        machine="m", algorithm="PR", graph="g",
+        edges_traversed=1e9, iterations=10, time=0.5,
+    )
+    r.add(EDGE_MEMORY, 0.2)
+    r.add(ONCHIP_VERTEX, 0.3)
+    r.add(PROCESSING, 0.5)
+    return r
+
+
+class TestAccumulation:
+    def test_add_accumulates(self, report):
+        report.add(EDGE_MEMORY, 0.1)
+        assert report.energy[EDGE_MEMORY] == pytest.approx(0.3)
+
+    def test_total(self, report):
+        assert report.total_energy == pytest.approx(1.0)
+
+    def test_rejects_unknown_component(self, report):
+        with pytest.raises(ConfigError):
+            report.add("flux_capacitor", 1.0)
+
+    def test_rejects_negative_energy(self, report):
+        with pytest.raises(ConfigError):
+            report.add(EDGE_MEMORY, -0.1)
+
+    def test_every_component_in_exactly_one_bucket(self):
+        bucketed = [
+            c for components in BREAKDOWN_BUCKETS.values()
+            for c in components
+        ]
+        assert sorted(bucketed) == sorted(ALL_COMPONENTS)
+
+
+class TestMetrics:
+    def test_memory_vs_logic_split(self, report):
+        assert report.memory_energy == pytest.approx(0.5)
+        assert report.logic_energy == pytest.approx(0.5)
+
+    def test_mteps_per_watt(self, report):
+        # 1e9 edges / 1 J / 1e6.
+        assert report.mteps_per_watt == pytest.approx(1000.0)
+
+    def test_mteps(self, report):
+        assert report.mteps == pytest.approx(1e9 / 0.5 / 1e6)
+
+    def test_edp(self, report):
+        assert report.edp == pytest.approx(0.5)
+
+    def test_breakdown_fractions(self, report):
+        shares = report.breakdown()
+        assert shares["Edge Memory"] == pytest.approx(0.2)
+        assert shares["Vertex Memory"] == pytest.approx(0.3)
+        assert shares["Other logic units"] == pytest.approx(0.5)
+
+    def test_component_fraction(self, report):
+        assert report.component_fraction(PROCESSING) == pytest.approx(0.5)
+        assert report.component_fraction(LOGIC_BG) == 0.0
+
+    def test_summary_mentions_key_fields(self, report):
+        text = report.summary()
+        assert "m" in text and "PR" in text and "MTEPS/W" in text
+
+    def test_empty_report_breakdown_raises(self):
+        empty = EnergyReport("m", "a", "g", 1.0, 1, 1.0)
+        with pytest.raises(ConfigError):
+            empty.breakdown()
+
+
+class TestHelpers:
+    def test_efficiency_ratio(self, report):
+        other = EnergyReport("n", "PR", "g", 1e9, 10, 0.5)
+        other.add(EDGE_MEMORY, 2.0)
+        assert efficiency_ratio(report, other) == pytest.approx(2.0)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            geomean([])
+
+    def test_geomean_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,158 @@
+"""Tests for the ReRAM and DDR4 chip models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import (
+    AccessKind,
+    AccessPattern,
+    DDR4Chip,
+    DRAMConfig,
+    RANDOM_READ_LATENCY,
+    ReRAMChip,
+    ReRAMConfig,
+    ReRAMCellParams,
+)
+from repro.units import GBIT, NS, PJ
+
+SEQ = AccessPattern.SEQUENTIAL
+RND = AccessPattern.RANDOM
+R, W = AccessKind.READ, AccessKind.WRITE
+
+
+class TestReRAMChip:
+    def test_sequential_read_uses_calibrated_energy(self):
+        chip = ReRAMChip()
+        cost = chip.access_cost(R, SEQ)
+        assert cost.energy == pytest.approx(102.07 * PJ)
+
+    def test_random_read_latency_matches_graphr_quote(self):
+        chip = ReRAMChip()
+        cost = chip.access_cost(R, RND)
+        assert cost.latency == pytest.approx(29.31 * NS)
+
+    def test_sequential_slower_than_array_period(self):
+        chip = ReRAMChip()
+        # Streaming cycle includes the sense-pipeline factor.
+        assert chip.access_cost(R, SEQ).latency > chip.point.read_period
+
+    def test_write_slower_and_costlier_than_read(self):
+        chip = ReRAMChip()
+        read = chip.access_cost(R, SEQ)
+        write = chip.access_cost(W, SEQ)
+        assert write.latency > read.latency
+        assert write.energy > read.energy
+
+    def test_density_scales_energy_mildly(self):
+        small = ReRAMChip(ReRAMConfig(density_bits=4 * GBIT))
+        large = ReRAMChip(ReRAMConfig(density_bits=16 * GBIT))
+        ratio = (
+            large.access_cost(R, SEQ).energy / small.access_cost(R, SEQ).energy
+        )
+        assert 1.0 < ratio < 1.5
+
+    def test_standby_scales_with_banks(self):
+        few = ReRAMChip(ReRAMConfig(num_banks=4))
+        many = ReRAMChip(ReRAMConfig(num_banks=16))
+        assert many.standby_power > few.standby_power
+
+    def test_gated_power_is_small_fraction(self):
+        chip = ReRAMChip()
+        assert chip.gated_power < 0.05 * chip.standby_power
+
+    def test_active_banks_subbank_vs_bank_interleaving(self):
+        assert ReRAMChip(ReRAMConfig(subbank_interleaving=True)).active_banks == 1
+        chip = ReRAMChip(ReRAMConfig(subbank_interleaving=False))
+        assert chip.active_banks == chip.num_banks
+
+    def test_mlc_chip_more_read_energy(self):
+        slc = ReRAMChip()
+        mlc = ReRAMChip(ReRAMConfig(cell=ReRAMCellParams(cell_bits=2)))
+        assert mlc.access_cost(R, SEQ).energy > slc.access_cost(R, SEQ).energy
+
+    def test_timings_roundtrip(self):
+        chip = ReRAMChip()
+        t = chip.timings()
+        assert t.read_energy == chip.access_cost(R, SEQ).energy
+        assert t.random_read_latency == RANDOM_READ_LATENCY
+        assert t.standby_power == chip.standby_power
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            ReRAMConfig(density_bits=0)
+        with pytest.raises(ConfigError):
+            ReRAMConfig(num_banks=0)
+
+    def test_bank_capacity(self):
+        config = ReRAMConfig(density_bits=4 * GBIT, num_banks=8)
+        assert config.bank_capacity_bits == 4 * GBIT // 8
+
+
+class TestDDR4Chip:
+    def test_burst_time_matches_speed_grade(self):
+        chip = DDR4Chip()
+        # 512 bits = 8 beats at 2 beats/clock of 0.937 ns.
+        assert chip.access_cost(R, SEQ).latency == pytest.approx(
+            4 * 0.937 * NS
+        )
+
+    def test_random_read_pays_row_activation(self):
+        chip = DDR4Chip()
+        seq = chip.access_cost(R, SEQ)
+        rnd = chip.access_cost(R, RND)
+        assert rnd.latency > 25 * NS
+        assert rnd.energy > seq.energy
+
+    def test_sequential_amortises_activation(self):
+        chip = DDR4Chip()
+        seq = chip.access_cost(R, SEQ)
+        rnd = chip.access_cost(R, RND)
+        # Row hits amortise the activate over row_bits/access_bits.
+        assert seq.energy < rnd.energy / 2
+
+    def test_refresh_power_grows_with_density(self):
+        p4 = DDR4Chip(DRAMConfig(density_bits=4 * GBIT)).refresh_power
+        p16 = DDR4Chip(DRAMConfig(density_bits=16 * GBIT)).refresh_power
+        assert p16 > p4
+
+    def test_cannot_be_gated(self):
+        chip = DDR4Chip()
+        assert chip.gated_power == chip.standby_power
+
+    def test_write_read_energies_same_order(self):
+        chip = DDR4Chip()
+        r = chip.access_cost(R, SEQ).energy
+        w = chip.access_cost(W, SEQ).energy
+        assert 0.5 < w / r < 1.5
+
+    def test_rejects_row_smaller_than_access(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(access_bits=512, row_bits=256)
+
+    def test_timings_roundtrip(self):
+        chip = DDR4Chip()
+        t = chip.timings()
+        assert t.standby_power == chip.standby_power
+        assert t.access_bits == 512
+
+
+class TestCrossTechnology:
+    """The Section 6.2 takeaways at device level."""
+
+    def test_reram_reads_much_cheaper(self):
+        reram = ReRAMChip().access_cost(R, SEQ).energy
+        dram = DDR4Chip().access_cost(R, SEQ).energy
+        assert dram / reram > 4.0
+
+    def test_dram_streams_faster(self):
+        reram = ReRAMChip().access_cost(R, SEQ).latency
+        dram = DDR4Chip().access_cost(R, SEQ).latency
+        assert dram < reram
+
+    def test_dram_writes_much_faster(self):
+        reram = ReRAMChip().access_cost(W, SEQ).latency
+        dram = DDR4Chip().access_cost(W, SEQ).latency
+        assert reram / dram > 4.0
+
+    def test_reram_standby_below_dram(self):
+        assert ReRAMChip().standby_power < DDR4Chip().standby_power

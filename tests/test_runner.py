@@ -1,0 +1,109 @@
+"""Tests for the edge-centric executor (vectorised vs blocked)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    ConnectedComponents,
+    PageRank,
+    SSSP,
+    SpMV,
+    clear_run_cache,
+    make_algorithm,
+    run_blocked,
+    run_cached,
+    run_vectorized,
+)
+from repro.errors import ConvergenceError
+from repro.graph import rmat
+
+
+ALGORITHMS = [PageRank, BFS, ConnectedComponents, SSSP, SpMV]
+
+
+class TestBlockedEquivalence:
+    """Algorithm 2's block order computes the same answer (the property
+    data sharing relies on)."""
+
+    @pytest.mark.parametrize("factory", ALGORITHMS)
+    def test_blocked_matches_vectorized(self, factory, small_rmat):
+        vec = run_vectorized(factory(), small_rmat)
+        blocked = run_blocked(factory(), small_rmat, num_intervals=8,
+                              num_pus=4)
+        np.testing.assert_allclose(blocked.values, vec.values)
+        assert blocked.iterations == vec.iterations
+
+    def test_blocked_single_pu(self, small_rmat):
+        vec = run_vectorized(PageRank(), small_rmat)
+        blocked = run_blocked(PageRank(), small_rmat, num_intervals=4,
+                              num_pus=1)
+        np.testing.assert_allclose(blocked.values, vec.values)
+
+    def test_blocked_p_equals_n(self, small_rmat):
+        vec = run_vectorized(BFS(), small_rmat)
+        blocked = run_blocked(BFS(), small_rmat, num_intervals=8, num_pus=8)
+        np.testing.assert_array_equal(blocked.values, vec.values)
+
+
+class TestRunMetadata:
+    def test_total_edges(self, small_rmat):
+        run = run_vectorized(PageRank(iterations=7), small_rmat)
+        assert run.total_edges == 7 * small_rmat.num_edges
+
+    def test_active_sources_length(self, small_rmat):
+        run = run_vectorized(ConnectedComponents(), small_rmat)
+        assert len(run.active_sources) == run.iterations
+
+    def test_pagerank_always_fully_active(self, small_rmat):
+        run = run_vectorized(PageRank(), small_rmat)
+        streamed = small_rmat.num_vertices
+        assert all(a == streamed for a in run.active_sources)
+
+    def test_graph_name_reflects_transform(self, small_rmat):
+        run = run_vectorized(ConnectedComponents(), small_rmat)
+        assert "sym" in run.graph_name
+
+
+class TestCache:
+    def test_same_algorithm_same_graph_cached(self, small_rmat):
+        clear_run_cache()
+        a = run_cached(PageRank(), small_rmat)
+        b = run_cached(PageRank(), small_rmat)
+        assert a is b
+
+    def test_different_parameters_not_conflated(self, small_rmat):
+        clear_run_cache()
+        a = run_cached(PageRank(iterations=5), small_rmat)
+        b = run_cached(PageRank(iterations=10), small_rmat)
+        assert a.iterations == 5
+        assert b.iterations == 10
+
+    def test_different_roots_not_conflated(self, small_rmat):
+        clear_run_cache()
+        a = run_cached(BFS(0), small_rmat)
+        b = run_cached(BFS(1), small_rmat)
+        assert a.values[0] == 0
+        assert b.values[1] == 0
+
+
+class TestConvergenceGuard:
+    def test_iteration_cap_enforced(self, small_rmat):
+        algo = ConnectedComponents()
+        algo.max_iterations = 0
+        with pytest.raises(ConvergenceError):
+            run_vectorized(algo, small_rmat)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("pr", "PR"), ("BFS", "BFS"), ("cc", "CC"), ("sssp", "SSSP"),
+         ("SpMV", "SpMV")],
+    )
+    def test_make_algorithm(self, name, expected):
+        assert make_algorithm(name).name == expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_algorithm("dijkstra")

@@ -1,0 +1,116 @@
+"""Validate the analytic schedule model against a concrete Algorithm-2
+walk that counts every access (repro.arch.validation)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, ConnectedComponents, PageRank, run_cached
+from repro.arch.config import HyVEConfig, Workload
+from repro.arch.scheduler import ScheduleCounts
+from repro.arch.validation import measure_schedule
+from repro.graph import hash_partition, rmat
+from repro.memory.powergate import PowerGatingPolicy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # Hash-placed so active vertices spread uniformly, matching the
+    # analytic activity approximation's assumption.
+    g = rmat(1024, 8192, seed=51, name="validation")
+    _, placement = hash_partition(g, 16)
+    return placement.apply(g)
+
+
+def analytic(algorithm, graph, p, n, sharing=True):
+    config = HyVEConfig(
+        label="validate",
+        num_pus=n,
+        num_intervals=p,
+        data_sharing=sharing,
+        power_gating=PowerGatingPolicy(enabled=False),
+    )
+    run = run_cached(algorithm, graph)
+    return ScheduleCounts.compute(run, Workload(graph), config), run
+
+
+class TestExactCounts:
+    """Counts with no approximation must match to the operation."""
+
+    @pytest.mark.parametrize("factory", [PageRank, BFS, ConnectedComponents])
+    def test_edge_stream_and_pu_ops(self, factory, graph):
+        measured = measure_schedule(factory(), graph, 16, 4)
+        counts, _ = analytic(factory(), graph, 16, 4)
+        assert measured.edge_reads == counts.edges_total
+        assert measured.pu_ops == counts.pu_ops
+
+    @pytest.mark.parametrize("factory", [PageRank, BFS])
+    def test_onchip_traffic(self, factory, graph):
+        measured = measure_schedule(factory(), graph, 16, 4)
+        counts, _ = analytic(factory(), graph, 16, 4)
+        assert measured.onchip_reads * 32 == counts.onchip_read_bits
+        assert measured.onchip_writes * 32 == counts.onchip_write_bits
+
+    def test_step_count(self, graph):
+        measured = measure_schedule(PageRank(), graph, 16, 4)
+        counts, _ = analytic(PageRank(), graph, 16, 4)
+        assert measured.steps == counts.steps_total
+
+    def test_results_match_vectorized(self, graph):
+        from repro.algorithms import run_vectorized
+
+        measured = measure_schedule(PageRank(), graph, 16, 4)
+        reference = run_vectorized(PageRank(), graph)
+        np.testing.assert_allclose(measured.values, reference.values)
+
+
+class TestIntervalTraffic:
+    """Equation (8) and the sharing factor, against ground truth."""
+
+    def test_pagerank_source_loads_exact(self, graph):
+        # PR keeps every vertex active: Equation (8) must hold exactly:
+        # (P/N) * N_v vertices per iteration.
+        measured = measure_schedule(PageRank(), graph, 16, 4)
+        expected = (16 / 4) * graph.num_vertices * measured.iterations
+        assert measured.src_vertices_loaded == expected
+
+    def test_pagerank_analytic_matches_measurement(self, graph):
+        measured = measure_schedule(PageRank(), graph, 16, 4)
+        counts, run = analytic(PageRank(), graph, 16, 4)
+        loads_bits = (
+            (measured.src_vertices_loaded + measured.dst_vertices_loaded)
+            * run.vertex_bits
+        )
+        assert counts.offchip_load_bits == pytest.approx(loads_bits)
+        stores_bits = measured.dst_vertices_stored * run.vertex_bits
+        assert counts.offchip_store_bits == pytest.approx(stores_bits)
+
+    def test_sharing_factor_is_n(self, graph):
+        shared = measure_schedule(PageRank(), graph, 16, 4,
+                                  data_sharing=True)
+        unshared = measure_schedule(PageRank(), graph, 16, 4,
+                                    data_sharing=False)
+        # Without sharing every block reloads its source interval: N x.
+        assert unshared.src_vertices_loaded == 4 * shared.src_vertices_loaded
+
+    def test_bfs_activity_model_close_to_ground_truth(self, graph):
+        measured = measure_schedule(BFS(0), graph, 16, 4)
+        counts, run = analytic(BFS(0), graph, 16, 4)
+        measured_load_bits = (
+            (measured.src_vertices_loaded + measured.dst_vertices_loaded)
+            * run.vertex_bits
+        )
+        # The analytic activity factor is a spread approximation; it
+        # must land within 35% of the concrete controller's loads.
+        assert counts.offchip_load_bits == pytest.approx(
+            measured_load_bits, rel=0.35
+        )
+
+    def test_bfs_loads_far_below_full_activity(self, graph):
+        measured = measure_schedule(BFS(0), graph, 16, 4)
+        full = (16 / 4) * graph.num_vertices * measured.iterations
+        assert measured.src_vertices_loaded < full
+
+    def test_dst_stores_bounded_by_loads(self, graph):
+        for factory in (PageRank, BFS):
+            measured = measure_schedule(factory(), graph, 16, 4)
+            assert measured.dst_vertices_stored == measured.dst_vertices_loaded

@@ -1,0 +1,67 @@
+"""Tests for the on-chip SRAM and register-file models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import AccessKind, AccessPattern, OnChipSRAM, RegisterFile
+from repro.units import MB, PJ, PS
+
+R, W = AccessKind.READ, AccessKind.WRITE
+SEQ, RND = AccessPattern.SEQUENTIAL, AccessPattern.RANDOM
+
+
+class TestOnChipSRAM:
+    def test_pattern_independent(self):
+        sram = OnChipSRAM()
+        assert sram.access_cost(R, SEQ) == sram.access_cost(R, RND)
+
+    def test_paper_2mb_point(self):
+        sram = OnChipSRAM(2 * MB)
+        assert sram.access_cost(R, RND).energy == pytest.approx(23.84 * PJ)
+        assert sram.access_cost(W, RND).latency == pytest.approx(557.089 * PS)
+
+    def test_word_access_width(self):
+        assert OnChipSRAM().access_bits == 32
+
+    def test_bigger_is_slower_and_leakier(self):
+        small = OnChipSRAM(2 * MB)
+        big = OnChipSRAM(16 * MB)
+        assert big.access_cost(R, RND).latency > small.access_cost(R, RND).latency
+        assert big.standby_power > small.standby_power
+
+    def test_fits(self):
+        sram = OnChipSRAM(2 * MB)
+        assert sram.fits(1 * MB)
+        assert not sram.fits(3 * MB)
+
+    def test_capacity_mb(self):
+        assert OnChipSRAM(4 * MB).capacity_mb == pytest.approx(4.0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            OnChipSRAM(0)
+
+
+class TestRegisterFile:
+    def test_paper_quoted_costs(self):
+        rf = RegisterFile()
+        read = rf.access_cost(R, RND)
+        write = rf.access_cost(W, RND)
+        assert read.energy == pytest.approx(1.227 * PJ)
+        assert read.latency == pytest.approx(11.976 * PS)
+        assert write.energy == pytest.approx(1.209 * PJ)
+        assert write.latency == pytest.approx(10.563 * PS)
+
+    def test_much_cheaper_than_sram(self):
+        rf = RegisterFile().access_cost(R, RND).energy
+        sram = OnChipSRAM().access_cost(R, RND).energy
+        assert sram / rf > 10
+
+    def test_leakage_scales_with_capacity(self):
+        small = RegisterFile(1024)
+        big = RegisterFile(8 * 1024)
+        assert big.standby_power == pytest.approx(8 * small.standby_power)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            RegisterFile(0)

@@ -1,0 +1,70 @@
+"""Tests for the generic design-space sweep helper."""
+
+import pytest
+
+from repro.algorithms import PageRank
+from repro.arch.config import Workload
+from repro.arch.sweep import best_point, pareto_front, sweep
+from repro.errors import ConfigError
+from repro.graph import rmat
+from repro.units import MB
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = rmat(2048, 16000, seed=97, name="sweep")
+    return Workload(graph, reported_vertices=2_048_000,
+                    reported_edges=16_000_000)
+
+
+class TestSweep:
+    def test_sram_axis(self, workload):
+        points = sweep("sram_bits", [2 * MB, 4 * MB, 8 * MB],
+                       PageRank, workload)
+        assert len(points) == 3
+        assert {p.value for p in points} == {2 * MB, 4 * MB, 8 * MB}
+        assert all(p.report.total_energy > 0 for p in points)
+
+    def test_boolean_axis(self, workload):
+        points = sweep("data_sharing", [True, False], PageRank, workload)
+        on, off = points
+        assert on.report.mteps_per_watt > off.report.mteps_per_watt
+
+    def test_labels_carry_value(self, workload):
+        points = sweep("num_pus", [4, 8], PageRank, workload)
+        assert points[0].config.label == "num_pus=4"
+
+    def test_accepts_bare_graph(self):
+        graph = rmat(256, 1000, seed=1)
+        points = sweep("num_pus", [2], PageRank, graph)
+        assert len(points) == 1
+
+    def test_rejects_unknown_field(self, workload):
+        with pytest.raises(ConfigError):
+            sweep("sram_banks", [1], PageRank, workload)
+
+    def test_rejects_empty_values(self, workload):
+        with pytest.raises(ConfigError):
+            sweep("num_pus", [], PageRank, workload)
+
+
+class TestSelection:
+    def test_best_point(self, workload):
+        points = sweep("sram_bits", [2 * MB, 16 * MB], PageRank, workload)
+        best = best_point(points)
+        assert best.mteps_per_watt == max(
+            p.mteps_per_watt for p in points
+        )
+
+    def test_best_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            best_point([])
+
+    def test_pareto_front_nonempty_subset(self, workload):
+        points = sweep("sram_bits", [2 * MB, 4 * MB, 8 * MB, 16 * MB],
+                       PageRank, workload)
+        front = pareto_front(points)
+        assert 1 <= len(front) <= len(points)
+        # Best-efficiency point is never dominated on energy.
+        best = min(points, key=lambda p: p.report.total_energy)
+        assert best in front

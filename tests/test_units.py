@@ -1,0 +1,79 @@
+"""Tests for unit constants and conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_time_scale_ordering(self):
+        assert units.PS < units.NS < units.US < units.MS < units.S
+
+    def test_energy_scale_ordering(self):
+        assert units.PJ < units.NJ < units.UJ < units.MJ < units.J
+
+    def test_data_sizes(self):
+        assert units.BYTE == 8
+        assert units.KB == 8 * 1024
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+
+    def test_bit_sizes(self):
+        assert units.GBIT == 1024 * units.MBIT == 1024 ** 2 * units.KBIT
+
+    def test_nanosecond_is_thousand_picoseconds(self):
+        assert units.NS == pytest.approx(1000 * units.PS)
+
+
+class TestMtepsPerWatt:
+    def test_one_nanojoule_per_edge_is_1000(self):
+        # 1 nJ/edge <=> 1000 MTEPS/W.
+        assert units.mteps_per_watt(1e6, 1.0, 1e6 * 1e-9) == pytest.approx(
+            1000.0
+        )
+
+    def test_time_invariance(self):
+        a = units.mteps_per_watt(1e6, 1.0, 0.5)
+        b = units.mteps_per_watt(1e6, 123.0, 0.5)
+        assert a == pytest.approx(b)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            units.mteps_per_watt(1e6, 0.0, 1.0)
+
+    def test_rejects_zero_energy(self):
+        with pytest.raises(ValueError):
+            units.mteps_per_watt(1e6, 1.0, 0.0)
+
+
+class TestEdp:
+    def test_product(self):
+        assert units.edp(2.0, 3.0) == 6.0
+
+    def test_zero(self):
+        assert units.edp(0.0, 5.0) == 0.0
+
+
+class TestFormatSi:
+    def test_nano(self):
+        assert units.format_si(1.2e-9, "J") == "1.2 nJ"
+
+    def test_pico(self):
+        assert units.format_si(102.07e-12, "J") == "102.1 pJ"
+
+    def test_mega(self):
+        assert units.format_si(2.5e6, "TEPS") == "2.5 MTEPS"
+
+    def test_zero(self):
+        assert units.format_si(0.0, "W") == "0 W"
+
+    def test_unit_scale(self):
+        assert units.format_si(3.2, "s") == "3.2 s"
+
+    def test_negative(self):
+        assert units.format_si(-4e-3, "J") == "-4 mJ"
+
+
+class TestBitsToMb:
+    def test_round_trip(self):
+        assert units.bits_to_mb(2 * units.MB) == pytest.approx(2.0)

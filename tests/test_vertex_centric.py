@@ -1,0 +1,105 @@
+"""Tests for the vertex-centric executor (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    ConnectedComponents,
+    PageRank,
+    SSSP,
+    SpMV,
+    run_vectorized,
+    run_vertex_centric,
+)
+from repro.algorithms.vertex_centric import _expand_ranges
+from repro.graph import Graph, path, rmat, star
+
+
+ALGORITHMS = [PageRank, BFS, ConnectedComponents, SSSP, SpMV]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("factory", ALGORITHMS)
+    def test_matches_edge_centric(self, factory, small_rmat):
+        vc = run_vertex_centric(factory(), small_rmat)
+        ec = run_vectorized(factory(), small_rmat)
+        np.testing.assert_allclose(vc.run.values, ec.values)
+        assert vc.run.iterations == ec.iterations
+
+    def test_empty_graph(self):
+        vc = run_vertex_centric(ConnectedComponents(), Graph.empty(5))
+        assert vc.edges_examined == 0
+
+
+class TestTraffic:
+    def test_pagerank_examines_every_edge(self, small_rmat):
+        vc = run_vertex_centric(PageRank(), small_rmat)
+        assert vc.edges_examined == vc.run.total_edges
+        assert vc.edge_savings == 0.0
+
+    def test_bfs_examines_fewer_edges(self, medium_rmat):
+        vc = run_vertex_centric(BFS(0), medium_rmat)
+        assert vc.edges_examined < vc.run.total_edges
+        assert vc.edge_savings > 0.3
+
+    def test_bfs_path_examines_each_edge_once(self):
+        vc = run_vertex_centric(BFS(0), path(6))
+        # Frontier is one vertex per level: 5 edges examined in total.
+        assert vc.edges_examined == 5
+
+    def test_star_bfs_single_scan_of_hub(self):
+        vc = run_vertex_centric(BFS(0), star(10))
+        assert vc.edges_examined == 10
+
+    def test_vertices_scanned_bounded(self, small_rmat):
+        vc = run_vertex_centric(ConnectedComponents(), small_rmat)
+        streamed = ConnectedComponents().transform_graph(small_rmat)
+        assert vc.vertices_scanned <= (
+            vc.run.iterations * streamed.num_vertices
+        )
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        out = _expand_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert out.tolist() == [0, 1, 2, 10, 11]
+
+    def test_zero_length_ranges_skipped(self):
+        out = _expand_ranges(np.array([5, 7, 9]), np.array([2, 0, 1]))
+        assert out.tolist() == [5, 6, 9]
+
+    def test_all_empty(self):
+        out = _expand_ranges(np.array([1, 2]), np.array([0, 0]))
+        assert out.size == 0
+
+    def test_single_range(self):
+        out = _expand_ranges(np.array([4]), np.array([4]))
+        assert out.tolist() == [4, 5, 6, 7]
+
+    def test_matches_naive_expansion(self):
+        rng = np.random.default_rng(3)
+        starts = rng.integers(0, 100, size=20)
+        lengths = rng.integers(0, 6, size=20)
+        expected = np.concatenate(
+            [np.arange(s, s + l) for s, l in zip(starts, lengths)]
+        ) if lengths.sum() else np.empty(0, dtype=np.int64)
+        out = _expand_ranges(starts, lengths)
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestAblationDriver:
+    def test_execution_model_ablation_shapes(self):
+        from repro.experiments.ablations import run_execution_model
+
+        result = run_execution_model()
+        for row in result.rows:
+            algo, _, edge_ratio, energy_ratio = row
+            assert 0.0 < edge_ratio <= 1.0
+            if algo == "PR":
+                # Full sweeps: vertex-centric only adds random-access cost.
+                assert edge_ratio == pytest.approx(1.0)
+                assert energy_ratio > 1.0
+            else:
+                # Traversals: vertex-centric skips most edges.
+                assert edge_ratio < 0.6
