@@ -172,19 +172,25 @@ def run_blocked(
 
 # --- run cache -------------------------------------------------------------
 
-_RUN_CACHE: dict[tuple[int, str, str], AlgorithmRun] = {}
+_RUN_CACHE: dict[tuple[str, str], AlgorithmRun] = {}
 
 
 def run_cached(
     algorithm: EdgeCentricAlgorithm, graph: Graph
 ) -> AlgorithmRun:
-    """Vectorised run memoised on (graph identity, algorithm signature).
+    """Vectorised run memoised on (graph content, algorithm signature).
 
     The benchmarks evaluate dozens of machine configurations against the
     same (graph, algorithm) pairs; the algorithm result and iteration
     count are configuration-independent, so they are computed once.
+
+    Keyed on :meth:`Graph.fingerprint` — a content digest — rather than
+    ``id(graph)``: object ids are recycled after garbage collection, so
+    an address-based key can serve a stale run for a *different* graph
+    that happens to reuse the same address (and misses needlessly for
+    equal graphs loaded twice).
     """
-    key = (id(graph), graph.name, _signature(algorithm))
+    key = (graph.fingerprint(), _signature(algorithm))
     if key not in _RUN_CACHE:
         _RUN_CACHE[key] = run_vectorized(algorithm, graph)
     return _RUN_CACHE[key]

@@ -35,7 +35,8 @@ from .report import (
 )
 from .router import RouterModel
 from .scheduler import ScheduleCounts, estimate_imbalance
-from .sweep import SweepPoint, best_point, pareto_front, sweep
+from .sweep import (SweepPoint, SweepPolicy, best_point,
+                    pareto_front, successful_points, sweep)
 
 __all__ = [
     "params",
@@ -82,7 +83,9 @@ __all__ = [
     "ScheduleCounts",
     "estimate_imbalance",
     "SweepPoint",
+    "SweepPolicy",
     "best_point",
     "pareto_front",
+    "successful_points",
     "sweep",
 ]

@@ -21,9 +21,19 @@ from dataclasses import dataclass
 from ..algorithms.base import EdgeCentricAlgorithm
 from ..algorithms.runner import AlgorithmRun, run_cached
 from ..errors import ConfigError
+from ..faults.injector import FaultInjector
+from ..faults.profile import FaultProfile
+from ..faults.resilience import (
+    BankSparingPlan,
+    FaultReport,
+    WRITE_RETRY_BOUND,
+    expected_write_rounds,
+    write_give_up_probability,
+)
 from ..graph.graph import Graph
-from ..memory.base import AccessKind, AccessPattern, MemoryDevice
+from ..memory.base import AccessCost, AccessKind, AccessPattern, MemoryDevice
 from ..memory.dram import DDR4Chip
+from ..memory.ecc import SECDEDDevice, secded_factor, secded_logic_energy
 from ..memory.powergate import BankPowerGating, GatingReport
 from ..memory.reram import ReRAMChip
 from ..memory.sram import OnChipSRAM
@@ -49,10 +59,16 @@ MIN_VERTEX_CHIPS = 1
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Report plus the algorithm's actual output values."""
+    """Report plus the algorithm's actual output values.
+
+    ``faults`` carries the injected-fault tally when the machine was
+    built with a non-zero :class:`FaultProfile`; it is ``None`` on the
+    (bit-identical) ideal-device path.
+    """
 
     report: EnergyReport
     run: AlgorithmRun
+    faults: FaultReport | None = None
 
     @property
     def values(self):
@@ -60,10 +76,21 @@ class SimulationResult:
 
 
 class AcceleratorMachine:
-    """A graph-processing accelerator with a configurable hierarchy."""
+    """A graph-processing accelerator with a configurable hierarchy.
 
-    def __init__(self, config: HyVEConfig | None = None) -> None:
+    ``faults`` selects a fault profile (see :mod:`repro.faults`); with
+    ``None`` or an all-zero profile the machine is exactly the paper's
+    ideal-device model — every report is bit-identical to a machine
+    built without the argument.
+    """
+
+    def __init__(
+        self,
+        config: HyVEConfig | None = None,
+        faults: FaultProfile | None = None,
+    ) -> None:
         self.config = config or HyVEConfig()
+        self.faults = faults
 
     @property
     def label(self) -> str:
@@ -107,8 +134,8 @@ class AcceleratorMachine:
             workload = Workload(workload)
         run = run_cached(algorithm, workload.graph)
         counts = ScheduleCounts.compute(run, workload, self.config)
-        report = self._fold(run, counts, workload)
-        return SimulationResult(report=report, run=run)
+        report, fault_report = self._fold(run, counts, workload)
+        return SimulationResult(report=report, run=run, faults=fault_report)
 
     def run_counts(
         self,
@@ -128,7 +155,7 @@ class AcceleratorMachine:
         run: AlgorithmRun,
         counts: ScheduleCounts,
         workload: Workload,
-    ) -> EnergyReport:
+    ) -> tuple[EnergyReport, FaultReport | None]:
         cfg = self.config
         edge_footprint = (
             counts.edges_total / counts.iterations
@@ -137,6 +164,82 @@ class AcceleratorMachine:
 
         edge_dev, edge_chips = self._edge_device(edge_footprint)
         vertex_dev, vertex_chips = self._vertex_device(vertex_footprint)
+
+        # --- fault injection & resilience provisioning --------------------
+        # Every fault effect below is guarded on a non-zero profile; with
+        # faults disabled this whole section is skipped and the fold is
+        # bit-identical to the ideal-device model.
+        profile = self.faults
+        fault_active = profile is not None and not profile.is_zero
+        injector: FaultInjector | None = None
+        fault_report: FaultReport | None = None
+        sparing: BankSparingPlan | None = None
+        raw_edge_dev, raw_vertex_dev = edge_dev, vertex_dev
+        sram_ecc = 1.0
+        write_rounds = 1.0
+        if fault_active:
+            injector = FaultInjector(
+                profile,
+                tag=f"{cfg.label}|{run.algorithm}|{workload.name}",
+            )
+            fault_report = FaultReport(profile)
+            word_stats = injector.stuck_word_stats()
+            fault_report.corrected_word_fraction = (
+                word_stats.correctable_fraction
+            )
+            fault_report.remapped_word_fraction = (
+                word_stats.uncorrectable_fraction
+            )
+            reram_faulty = (
+                profile.effective_stuck_rate > 0
+                or profile.bank_failure_rate > 0
+            )
+            if cfg.edge_memory == MemoryTechnology.RERAM:
+                failed = injector.sample_failed_banks(
+                    edge_chips * cfg.reram.num_banks
+                )
+                sparing, edge_chips = BankSparingPlan.build(
+                    footprint_bits=edge_footprint,
+                    chips=edge_chips,
+                    banks_per_chip=cfg.reram.num_banks,
+                    bank_capacity_bits=cfg.reram.bank_capacity_bits,
+                    density_bits=cfg.reram.density_bits,
+                    failed_banks=failed,
+                    bad_word_fraction=word_stats.uncorrectable_fraction,
+                )
+                fault_report.failed_banks = failed
+                fault_report.spare_chips = sparing.spare_chips
+                fault_report.capacity_loss_fraction = (
+                    sparing.capacity_loss_fraction
+                )
+                fault_report.stuck_cells = injector.sample_stuck_cells(
+                    edge_chips * cfg.reram.density_bits
+                )
+            if (cfg.edge_memory == MemoryTechnology.RERAM and reram_faulty) or (
+                cfg.edge_memory == MemoryTechnology.DRAM
+                and profile.dram_upset_rate > 0
+            ):
+                edge_dev = SECDEDDevice(edge_dev)
+            if (
+                cfg.offchip_vertex == MemoryTechnology.RERAM and reram_faulty
+            ) or (
+                cfg.offchip_vertex == MemoryTechnology.DRAM
+                and profile.dram_upset_rate > 0
+            ):
+                vertex_dev = SECDEDDevice(vertex_dev)
+            if cfg.has_onchip and profile.sram_upset_rate > 0:
+                sram_ecc = secded_factor()
+            if profile.reram_write_fail_rate > 0:
+                write_rounds = expected_write_rounds(
+                    profile.reram_write_fail_rate, WRITE_RETRY_BOUND
+                )
+                fault_report.expected_write_rounds = write_rounds
+                fault_report.write_give_up_probability = (
+                    write_give_up_probability(
+                        profile.reram_write_fail_rate, WRITE_RETRY_BOUND
+                    )
+                )
+
         sram = OnChipSRAM(cfg.sram_bits) if cfg.has_onchip else None
         pu = ProcessingUnitModel(
             sram_cycle=(
@@ -186,6 +289,16 @@ class AcceleratorMachine:
         hit = cfg.region_hit_rate
         rnd_read = _narrow_random_cost(vertex_dev, AccessKind.READ, hit)
         rnd_write = _narrow_random_cost(vertex_dev, AccessKind.WRITE, hit)
+        # Write-verify retries multiply every ReRAM vertex write's energy
+        # and latency by the expected program-round count.
+        if write_rounds != 1.0 and cfg.offchip_vertex == MemoryTechnology.RERAM:
+            store = AccessCost(
+                store.latency * write_rounds, store.energy * write_rounds
+            )
+            rnd_write = AccessCost(
+                rnd_write.latency * write_rounds,
+                rnd_write.energy * write_rounds,
+            )
         report.add(
             rpt.OFFCHIP_VERTEX,
             load.energy
@@ -193,6 +306,46 @@ class AcceleratorMachine:
             + counts.random_read_ops * rnd_read.energy
             + counts.random_write_ops * rnd_write.energy,
         )
+
+        resil_energy = 0.0
+        if fault_report is not None:
+            if edge_dev is not raw_edge_dev:
+                resil_energy += (
+                    edge_stream.energy
+                    - raw_edge_dev.transfer_cost(
+                        AccessKind.READ,
+                        counts.edge_stream_bits,
+                        AccessPattern.SEQUENTIAL,
+                    ).energy
+                )
+            if vertex_dev is not raw_vertex_dev or (
+                write_rounds != 1.0
+                and cfg.offchip_vertex == MemoryTechnology.RERAM
+            ):
+                base_load = raw_vertex_dev.transfer_cost(
+                    AccessKind.READ,
+                    counts.offchip_load_bits,
+                    AccessPattern.SEQUENTIAL,
+                )
+                base_store = raw_vertex_dev.transfer_cost(
+                    AccessKind.WRITE,
+                    counts.offchip_store_bits,
+                    AccessPattern.SEQUENTIAL,
+                )
+                base_rnd_read = _narrow_random_cost(
+                    raw_vertex_dev, AccessKind.READ, hit
+                )
+                base_rnd_write = _narrow_random_cost(
+                    raw_vertex_dev, AccessKind.WRITE, hit
+                )
+                resil_energy += (
+                    (load.energy - base_load.energy)
+                    + (store.energy - base_store.energy)
+                    + counts.random_read_ops
+                    * (rnd_read.energy - base_rnd_read.energy)
+                    + counts.random_write_ops
+                    * (rnd_write.energy - base_rnd_write.energy)
+                )
 
         if sram is not None:
             read_unit = sram.access_cost(AccessKind.READ, AccessPattern.RANDOM)
@@ -204,6 +357,14 @@ class AcceleratorMachine:
                 + (counts.onchip_write_bits / sram.access_bits)
                 * write_unit.energy
             )
+            if sram_ecc != 1.0:
+                onchip_extra = onchip_energy * (
+                    sram_ecc - 1.0
+                ) + secded_logic_energy(
+                    counts.onchip_read_bits + counts.onchip_write_bits
+                )
+                onchip_energy += onchip_extra
+                resil_energy += onchip_extra
             report.add(rpt.ONCHIP_VERTEX, onchip_energy)
 
         report.add(
@@ -269,6 +430,10 @@ class AcceleratorMachine:
                 streamed_bits=counts.edge_stream_bits,
                 bank_capacity_bits=cfg.reram.bank_capacity_bits,
                 duration=duration,
+                failed_banks=sparing.failed_banks if sparing else 0,
+                transition_factor=(
+                    sparing.transition_factor if sparing else 1.0
+                ),
             )
             duration += gating.overhead_time
             report.add(rpt.EDGE_MEMORY, gating.overhead_energy)
@@ -286,17 +451,61 @@ class AcceleratorMachine:
             vertex_chips * vertex_dev.background_energy(duration),
         )
         if sram is not None:
-            report.add(
-                rpt.ONCHIP_VERTEX_BG,
-                cfg.num_pus * sram.background_energy(duration),
-            )
+            sram_bg = cfg.num_pus * sram.background_energy(duration)
+            if sram_ecc != 1.0:
+                resil_energy += sram_bg * (sram_ecc - 1.0)
+                sram_bg *= sram_ecc
+            report.add(rpt.ONCHIP_VERTEX_BG, sram_bg)
         logic_power = (
             cfg.num_pus * pu.leakage_power
             + router.leakage_power
             + params.CONTROLLER_POWER
         )
         report.add(rpt.LOGIC_BG, logic_power * duration)
-        return report
+
+        # --- injected-fault accounting -------------------------------------
+        if fault_report is not None and injector is not None:
+            if edge_dev is not raw_edge_dev:
+                resil_energy += edge_chips * (
+                    edge_dev.background_energy(duration, gating.gated_fraction)
+                    - raw_edge_dev.background_energy(
+                        duration, gating.gated_fraction
+                    )
+                )
+            if vertex_dev is not raw_vertex_dev:
+                resil_energy += vertex_chips * (
+                    vertex_dev.background_energy(duration)
+                    - raw_vertex_dev.background_energy(duration)
+                )
+            if sparing is not None and sparing.spare_chips:
+                resil_energy += sparing.spare_chips * (
+                    raw_edge_dev.background_energy(
+                        duration, gating.gated_fraction
+                    )
+                )
+            dram_bits = 0.0
+            if cfg.offchip_vertex == MemoryTechnology.DRAM:
+                dram_bits += counts.offchip_bits
+            if cfg.edge_memory == MemoryTechnology.DRAM:
+                dram_bits += counts.edge_stream_bits
+            flips = injector.sample_transient_flips(
+                dram_bits, profile.dram_upset_rate
+            )
+            uncorrectable = injector.uncorrectable_flip_count(
+                dram_bits, profile.dram_upset_rate
+            )
+            if sram is not None:
+                sram_bits = counts.onchip_read_bits + counts.onchip_write_bits
+                flips += injector.sample_transient_flips(
+                    sram_bits, profile.sram_upset_rate
+                )
+                uncorrectable += injector.uncorrectable_flip_count(
+                    sram_bits, profile.sram_upset_rate
+                )
+            fault_report.transient_flips_corrected = flips
+            fault_report.transient_flips_uncorrectable = uncorrectable
+            fault_report.add_energy(resil_energy)
+        return report, fault_report
 
 
 def _narrow_random_cost(
@@ -325,11 +534,13 @@ def _narrow_random_cost(
     )
 
 
-def make_machine(name: str) -> AcceleratorMachine:
+def make_machine(
+    name: str, faults: FaultProfile | None = None
+) -> AcceleratorMachine:
     """Instantiate an accelerator machine by its Fig. 16 label."""
     from .config import NAMED_CONFIGS
 
     if name not in NAMED_CONFIGS:
         known = ", ".join(NAMED_CONFIGS)
         raise ConfigError(f"unknown machine {name!r}; known: {known}")
-    return AcceleratorMachine(NAMED_CONFIGS[name]())
+    return AcceleratorMachine(NAMED_CONFIGS[name](), faults=faults)

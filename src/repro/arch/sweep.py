@@ -8,15 +8,26 @@ methodology, exposed as API)::
     points = sweep("sram_bits", [2 * MB, 4 * MB, 8 * MB],
                    PageRank, Workload.from_dataset("LJ"))
     best = max(points, key=lambda p: p.report.mteps_per_watt)
+
+Long sweeps are robust by policy (:class:`SweepPolicy`): each point can
+be bounded by a wall-clock timeout, retried with exponential backoff,
+isolated so one failing configuration yields a structured
+:class:`SweepPoint` carrying the error instead of killing the sweep,
+and checkpointed to a JSONL file so an interrupted sweep resumes
+without re-evaluating finished points.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import json
+import time
 from dataclasses import dataclass, fields, replace
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..algorithms.base import EdgeCentricAlgorithm
-from ..errors import ConfigError
+from ..errors import ConfigError, SweepPointError
 from ..graph.graph import Graph
 from .config import HyVEConfig, Workload
 from .machine import AcceleratorMachine
@@ -24,17 +35,169 @@ from .report import EnergyReport
 
 
 @dataclass(frozen=True)
+class SweepPolicy:
+    """Robustness knobs for :func:`sweep`.
+
+    Attributes:
+        timeout: wall-clock budget (seconds) for one evaluation attempt;
+            ``None`` means unbounded.  A timed-out attempt counts as a
+            failure (and is retried if retries remain).
+        retries: extra attempts after the first failure of a point.
+        backoff: sleep before retry ``k`` is ``backoff * 2**(k - 1)``
+            seconds — transient failures (memory pressure, flaky I/O)
+            get breathing room without stalling a healthy sweep.
+        isolate_errors: when True, a point whose every attempt failed
+            becomes a structured failed :class:`SweepPoint` (``report``
+            is None, ``error`` holds the message) and the sweep
+            continues; when False the :class:`SweepPointError` (with the
+            underlying cause chained) propagates.
+        checkpoint_path: JSONL file recording each finished point.  A
+            sweep started with an existing checkpoint reuses every
+            successful point recorded there (keyed on the swept field
+            and ``repr(value)``) and only evaluates the rest; failed
+            points are re-attempted on resume.
+    """
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.1
+    isolate_errors: bool = False
+    checkpoint_path: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(f"timeout must be positive: {self.timeout}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0: {self.retries}")
+        if self.backoff < 0:
+            raise ConfigError(f"backoff must be >= 0: {self.backoff}")
+
+
+@dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated configuration."""
+    """One evaluated configuration.
+
+    ``report`` is ``None`` for a point that failed under an
+    error-isolating policy; ``error`` then carries the final failure
+    message and ``attempts`` how many tries were spent.
+    """
 
     field: str
     value: Any
-    config: HyVEConfig
-    report: EnergyReport
+    config: HyVEConfig | None
+    report: EnergyReport | None
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
 
     @property
     def mteps_per_watt(self) -> float:
+        if self.report is None:
+            raise SweepPointError(
+                f"point {self.field}={self.value!r} failed: {self.error}"
+            )
         return self.report.mteps_per_watt
+
+
+def _point_key(field: str, value: Any) -> str:
+    return f"{field}={value!r}"
+
+
+def _load_checkpoint(path: Path) -> dict[str, dict]:
+    """Read a JSONL checkpoint; later lines win for the same key."""
+    entries: dict[str, dict] = {}
+    if not path.exists():
+        return entries
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                entries[record["key"]] = record
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ConfigError(
+                    f"{path}:{lineno}: corrupt sweep checkpoint line "
+                    f"({exc})"
+                ) from exc
+    return entries
+
+
+def _append_checkpoint(path: Path, record: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+        fh.flush()
+
+
+def _evaluate_once(
+    config: HyVEConfig,
+    algorithm_factory: Callable[[], EdgeCentricAlgorithm],
+    workload: Workload,
+    faults,
+    timeout: float | None,
+) -> EnergyReport:
+    """One evaluation attempt, optionally bounded by a timeout.
+
+    The timeout runs the model on a worker thread and abandons it on
+    expiry — the orphaned thread finishes in the background (the model
+    is pure compute with no side effects), but the sweep moves on.
+    """
+    def run() -> EnergyReport:
+        return AcceleratorMachine(config, faults=faults).run(
+            algorithm_factory(), workload
+        ).report
+
+    if timeout is None:
+        return run()
+    executor = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+    try:
+        future = executor.submit(run)
+        try:
+            return future.result(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise SweepPointError(
+                f"evaluation exceeded {timeout:g}s timeout"
+            ) from None
+    finally:
+        executor.shutdown(wait=False)
+
+
+def _evaluate_point(
+    config: HyVEConfig,
+    algorithm_factory: Callable[[], EdgeCentricAlgorithm],
+    workload: Workload,
+    faults,
+    policy: SweepPolicy,
+) -> tuple[EnergyReport | None, str | None, int]:
+    """Retry loop around one point: (report, error, attempts spent)."""
+    last_error: BaseException | None = None
+    attempts = 0
+    for attempt in range(policy.retries + 1):
+        if attempt > 0 and policy.backoff > 0:
+            time.sleep(policy.backoff * 2 ** (attempt - 1))
+        attempts += 1
+        try:
+            return (
+                _evaluate_once(config, algorithm_factory, workload,
+                               faults, policy.timeout),
+                None,
+                attempts,
+            )
+        except Exception as exc:  # isolated per point by design
+            last_error = exc
+    message = f"{type(last_error).__name__}: {last_error}"
+    if policy.isolate_errors:
+        return None, message, attempts
+    raise SweepPointError(
+        f"sweep point {config.label!r} failed after "
+        f"{attempts} attempt(s): {message}"
+    ) from last_error
 
 
 def sweep(
@@ -43,6 +206,8 @@ def sweep(
     algorithm_factory: Callable[[], EdgeCentricAlgorithm],
     workload: Workload | Graph,
     base_config: HyVEConfig | None = None,
+    policy: SweepPolicy | None = None,
+    faults=None,
 ) -> list[SweepPoint]:
     """Evaluate one config field across ``values``.
 
@@ -50,8 +215,15 @@ def sweep(
     ``sram_bits``, ``num_pus``, ``data_sharing``, ``edge_memory``);
     device-level axes are swept by passing prepared ``ReRAMConfig`` /
     ``DRAMConfig`` values for the ``reram`` / ``dram`` fields.
+
+    ``policy`` governs per-point timeout/retry/error isolation and
+    checkpoint/resume; the default policy is strict (no timeout, no
+    retries, first failure propagates), matching a plain loop.
+    ``faults`` optionally threads a :class:`repro.faults.FaultProfile`
+    into every evaluated machine.
     """
     base_config = base_config or HyVEConfig()
+    policy = policy or SweepPolicy()
     valid = {f.name for f in fields(HyVEConfig)}
     if field not in valid:
         raise ConfigError(
@@ -62,28 +234,80 @@ def sweep(
     if isinstance(workload, Graph):
         workload = Workload(workload)
 
+    checkpoint: dict[str, dict] = {}
+    checkpoint_path: Path | None = None
+    if policy.checkpoint_path is not None:
+        checkpoint_path = Path(policy.checkpoint_path)
+        checkpoint = _load_checkpoint(checkpoint_path)
+
     points: list[SweepPoint] = []
     for value in values:
-        config = replace(base_config, **{field: value,
-                                         "label": f"{field}={value}"})
-        report = AcceleratorMachine(config).run(
-            algorithm_factory(), workload
-        ).report
-        points.append(SweepPoint(field, value, config, report))
+        key = _point_key(field, value)
+        try:
+            config = replace(base_config, **{field: value,
+                                             "label": f"{field}={value}"})
+        except Exception as exc:
+            # An invalid value fails at config construction, before any
+            # evaluation; isolate it the same way as an evaluation error.
+            if not policy.isolate_errors:
+                raise SweepPointError(
+                    f"sweep value {field}={value!r} rejected: {exc}"
+                ) from exc
+            config, report, attempts = None, None, 0
+            error = f"{type(exc).__name__}: {exc}"
+            points.append(SweepPoint(field, value, None, None,
+                                     error=error, attempts=0))
+            if checkpoint_path is not None:
+                _append_checkpoint(checkpoint_path, {
+                    "key": key, "field": field, "value_repr": repr(value),
+                    "report": None, "error": error, "attempts": 0,
+                })
+            continue
+        cached = checkpoint.get(key)
+        if cached is not None and cached.get("report") is not None:
+            points.append(SweepPoint(
+                field, value, config,
+                EnergyReport.from_dict(cached["report"]),
+                attempts=int(cached.get("attempts", 1)),
+            ))
+            continue
+
+        report, error, attempts = _evaluate_point(
+            config, algorithm_factory, workload, faults, policy
+        )
+        point = SweepPoint(field, value, config, report,
+                           error=error, attempts=attempts)
+        points.append(point)
+        if checkpoint_path is not None:
+            _append_checkpoint(checkpoint_path, {
+                "key": key,
+                "field": field,
+                "value_repr": repr(value),
+                "report": report.to_dict() if report else None,
+                "error": error,
+                "attempts": attempts,
+            })
     return points
 
 
+def successful_points(points: list[SweepPoint]) -> list[SweepPoint]:
+    """The subset of points that evaluated cleanly."""
+    return [p for p in points if p.ok]
+
+
 def best_point(points: list[SweepPoint]) -> SweepPoint:
-    """The most energy-efficient point of a sweep."""
-    if not points:
+    """The most energy-efficient successful point of a sweep."""
+    candidates = successful_points(points)
+    if not candidates:
         raise ConfigError("empty sweep")
-    return max(points, key=lambda p: p.report.mteps_per_watt)
+    return max(candidates, key=lambda p: p.report.mteps_per_watt)
 
 
 def pareto_front(points: list[SweepPoint]) -> list[SweepPoint]:
     """Points not dominated on (energy, time) — lower is better on both."""
+    candidates = successful_points(points)
     front: list[SweepPoint] = []
-    for candidate in points:
+    for candidate in candidates:
         dominated = any(
             other.report.total_energy <= candidate.report.total_energy
             and other.report.time <= candidate.report.time
@@ -91,7 +315,7 @@ def pareto_front(points: list[SweepPoint]) -> list[SweepPoint]:
                 other.report.total_energy < candidate.report.total_energy
                 or other.report.time < candidate.report.time
             )
-            for other in points
+            for other in candidates
         )
         if not dominated:
             front.append(candidate)

@@ -13,8 +13,12 @@ Examples::
     python -m repro info
     python -m repro run --machine acc+HyVE-opt --algorithm pr --dataset LJ
     python -m repro run --algorithm bfs --graph edges.txt --json
+    python -m repro run --faults harsh --seed 7 --dataset YT
     python -m repro compare --algorithm pr --dataset YT
     python -m repro experiment fig16 fig21
+
+Operator errors (unknown names, unreadable graph files, malformed edge
+lists) print one ``error:`` line on stderr and exit with status 2.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ from .arch.config import NAMED_CONFIGS, Workload
 from .arch.cpu import CPU_DRAM, CPU_DRAM_OPT, CPUMachine
 from .arch.graphr import GraphRMachine
 from .arch.machine import make_machine
+from .errors import ReproError
+from .faults import FAULT_PROFILES, make_profile
 from .graph.datasets import DATASET_ORDER, DATASETS
 from .graph import io as graph_io
 
@@ -37,14 +43,22 @@ MACHINE_NAMES = tuple(NAMED_CONFIGS) + ("CPU+DRAM", "CPU+DRAM-opt", "GraphR")
 ALGORITHM_NAMES = ("pr", "bfs", "cc", "sssp", "spmv")
 
 
-def build_machine(name: str):
+def build_machine(name: str, faults=None):
+    """Build a named machine; ``faults`` applies to accelerators only
+    (the CPU and GraphR models have no fault instrumentation)."""
     if name == "CPU+DRAM":
         return CPUMachine(CPU_DRAM)
     if name == "CPU+DRAM-opt":
         return CPUMachine(CPU_DRAM_OPT)
     if name == "GraphR":
         return GraphRMachine()
-    return make_machine(name)
+    return make_machine(name, faults=faults)
+
+
+def load_faults(args: argparse.Namespace):
+    if not getattr(args, "faults", None):
+        return None
+    return make_profile(args.faults, seed=getattr(args, "seed", None))
 
 
 def load_workload(args: argparse.Namespace) -> Workload:
@@ -75,24 +89,31 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     workload = load_workload(args)
-    machine = build_machine(args.machine)
+    faults = load_faults(args)
+    machine = build_machine(args.machine, faults=faults)
     algorithm = make_algorithm(args.algorithm)
     result = machine.run(algorithm, workload)
     if args.json:
-        print(json.dumps(result.report.to_dict(), indent=2))
+        payload = result.report.to_dict()
+        if result.faults is not None:
+            payload["faults"] = result.faults.to_dict()
+        print(json.dumps(payload, indent=2))
     else:
         print(result.report.summary())
         print("breakdown:")
         for bucket, share in result.report.breakdown().items():
             print(f"  {bucket:18s} {100 * share:5.1f}%")
+        if result.faults is not None:
+            print(result.faults.summary())
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     workload = load_workload(args)
+    faults = load_faults(args)
     rows = []
     for name in MACHINE_NAMES:
-        machine = build_machine(name)
+        machine = build_machine(name, faults=faults)
         report = machine.run(make_algorithm(args.algorithm), workload).report
         rows.append((name, report.mteps_per_watt, report.total_energy,
                      report.time))
@@ -139,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--graph", metavar="FILE",
                        help="edge-list file instead of a dataset")
         p.add_argument("--algorithm", choices=ALGORITHM_NAMES, default="pr")
+        p.add_argument("--faults", choices=tuple(FAULT_PROFILES),
+                       help="inject faults per the named profile "
+                            "(accelerator machines only)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="fault-injection seed (same seed + profile "
+                            "=> identical injected faults)")
 
     run = sub.add_parser("run", help="simulate one machine")
     add_workload_args(run)
@@ -167,7 +194,14 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "experiment": cmd_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as exc:
+        # Operator errors (unknown names, unreadable files, malformed
+        # inputs) get one line on stderr and exit code 2 — not a
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

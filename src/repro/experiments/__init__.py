@@ -1,8 +1,11 @@
 """Experiment drivers: one module per table/figure of the evaluation."""
 
+import traceback
+
 from . import (
     ablations,
     headline,
+    resilience,
     sensitivity,
     fig09,
     fig10,
@@ -58,14 +61,35 @@ ALL_EXPERIMENTS = {
     "ablation_placement": ablations.run_placement,
     "headline": headline.run,
     "sensitivity": sensitivity.run,
+    "resilience": resilience.run,
 }
 
 
-def run_all(save: bool = True) -> dict[str, ExperimentResult]:
-    """Run every experiment; optionally save text + CSV under results/."""
+def run_all(
+    save: bool = True, isolate_errors: bool = False
+) -> dict[str, ExperimentResult]:
+    """Run every experiment; optionally save text + CSV under results/.
+
+    With ``isolate_errors`` a driver that raises does not abort the
+    batch: its slot holds a structured failure table (single "Error"
+    column carrying the traceback tail) and the remaining experiments
+    still run.
+    """
     out: dict[str, ExperimentResult] = {}
     for name, runner in ALL_EXPERIMENTS.items():
-        result = runner()
+        try:
+            result = runner()
+        except Exception as exc:
+            if not isolate_errors:
+                raise
+            tail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+            result = ExperimentResult(
+                experiment=name,
+                title=f"FAILED: {name}",
+                headers=["Error"],
+                rows=[[tail]],
+                notes="experiment raised; remaining experiments ran",
+            )
         if save:
             result.save()
             result.save_csv()

@@ -1,0 +1,51 @@
+"""Fault injection and resilience modelling.
+
+The paper assumes ideal devices; this package answers "what does HyVE's
+energy win look like once real ReRAM imperfections — stuck cells, finite
+endurance, write variability, whole-bank failures — and transient vertex
+path upsets are paid for?"  Everything is deterministic and seedable,
+and an all-zero profile is a guaranteed pass-through (bit-identical
+reports).
+"""
+
+from ..memory.ecc import (
+    SECDED_CHECK_BITS,
+    SECDED_DATA_BITS,
+    SECDEDDevice,
+    secded_factor,
+    secded_logic_energy,
+)
+from .injector import (
+    FaultInjector,
+    StuckWordStats,
+    UpdateFaultCounts,
+    derive_seed,
+)
+from .profile import FAULT_PROFILES, FaultProfile, make_profile
+from .resilience import (
+    BankSparingPlan,
+    FaultReport,
+    WRITE_RETRY_BOUND,
+    expected_write_rounds,
+    write_give_up_probability,
+)
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultReport",
+    "BankSparingPlan",
+    "SECDED_CHECK_BITS",
+    "SECDED_DATA_BITS",
+    "SECDEDDevice",
+    "StuckWordStats",
+    "UpdateFaultCounts",
+    "WRITE_RETRY_BOUND",
+    "derive_seed",
+    "expected_write_rounds",
+    "make_profile",
+    "secded_factor",
+    "secded_logic_energy",
+    "write_give_up_probability",
+]

@@ -1,0 +1,177 @@
+"""Fault profiles: seedable rate bundles describing device imperfection.
+
+The paper (like GraphR) evaluates ideal devices; real ReRAM arrives with
+stuck-at cells, finite write endurance and write variability, and the
+DRAM/SRAM vertex path suffers transient upsets.  A
+:class:`FaultProfile` collects every rate the injector understands, plus
+the seed that makes injection reproducible.
+
+The central invariant of the whole subsystem: a profile whose rates are
+all zero (``is_zero``) is a pure pass-through — every machine report is
+bit-identical to an uninstrumented run.  The machine model only spends
+entropy and applies resilience overheads when ``is_zero`` is false.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+
+from ..errors import ConfigError
+
+#: Rates interpreted as probabilities (must lie in [0, 1]).
+_PROBABILITY_FIELDS = (
+    "reram_stuck_cell_rate",
+    "reram_write_fail_rate",
+    "bank_failure_rate",
+    "update_drop_rate",
+    "update_duplicate_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Fault rates for one simulated deployment.
+
+    Attributes:
+        seed: base seed of the deterministic injector; two runs with the
+            same profile produce identical injected-fault counts.
+        reram_stuck_cell_rate: fraction of ReRAM cells stuck at 0/1
+            (manufacturing defects).
+        reram_endurance_writes: write endurance of one ReRAM cell
+            (0 = ideal, never wears out).
+        reram_lifetime_writes: mean program cycles each cell has already
+            absorbed; with a finite endurance this wears cells into the
+            stuck population.
+        reram_write_fail_rate: probability one program round fails its
+            verify read (write variability); absorbed by bounded
+            write-verify retries.
+        sram_upset_rate: transient bit-flip probability per accessed
+            SRAM bit (scratchpad vertex path).
+        dram_upset_rate: transient bit-flip probability per accessed
+            DRAM bit (off-chip vertex path, DRAM edge stream).
+        bank_failure_rate: probability each edge-memory bank is dead at
+            boot (whole-bank failure, absorbed by remap/sparing).
+        update_drop_rate: probability one dynamic-graph update request
+            is lost in flight.
+        update_duplicate_rate: probability one dynamic-graph update
+            request is delivered twice.
+    """
+
+    seed: int = 0
+    reram_stuck_cell_rate: float = 0.0
+    reram_endurance_writes: float = 0.0
+    reram_lifetime_writes: float = 0.0
+    reram_write_fail_rate: float = 0.0
+    sram_upset_rate: float = 0.0
+    dram_upset_rate: float = 0.0
+    bank_failure_rate: float = 0.0
+    update_drop_rate: float = 0.0
+    update_duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _PROBABILITY_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"{name} must be a probability in [0, 1]: {value}"
+                )
+        for name in ("reram_endurance_writes", "reram_lifetime_writes",
+                     "sram_upset_rate", "dram_upset_rate"):
+            value = getattr(self, name)
+            if value < 0.0 or not math.isfinite(value):
+                raise ConfigError(f"{name} must be finite and >= 0: {value}")
+        if self.reram_write_fail_rate >= 1.0:
+            raise ConfigError(
+                "a write round must have some chance of success"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when every rate is zero: the injector is a no-op."""
+        return all(
+            getattr(self, f.name) == 0
+            for f in fields(self)
+            if f.name != "seed"
+        )
+
+    @property
+    def wear_stuck_fraction(self) -> float:
+        """Cells worn past endurance, as an additional stuck-cell rate.
+
+        Per-cell endurance follows a lognormal spread around the rated
+        value (the standard ReRAM wear-out model): with mean lifetime
+        writes L and rated endurance E, the failed fraction is
+        ``Phi(ln(L/E) / sigma)`` with sigma = 0.2 — negligible early in
+        life, 50% at L = E.
+        """
+        if self.reram_endurance_writes <= 0 or self.reram_lifetime_writes <= 0:
+            return 0.0
+        sigma = 0.2
+        x = math.log(
+            self.reram_lifetime_writes / self.reram_endurance_writes
+        ) / sigma
+        return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+    @property
+    def effective_stuck_rate(self) -> float:
+        """Manufacturing stuck-at cells plus endurance wear-out."""
+        return min(1.0, self.reram_stuck_cell_rate + self.wear_stuck_fraction)
+
+    def with_seed(self, seed: int) -> "FaultProfile":
+        return replace(self, seed=seed)
+
+    @classmethod
+    def zero(cls, seed: int = 0) -> "FaultProfile":
+        """The all-zero (pass-through) profile."""
+        return cls(seed=seed)
+
+
+#: Named severities addressable from the CLI (``--faults <name>``).
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    # Ideal devices: the paper's assumption; pure pass-through.
+    "none": FaultProfile(),
+    # Fresh production parts: rare defects, modest write variability.
+    "mild": FaultProfile(
+        reram_stuck_cell_rate=1e-6,
+        reram_write_fail_rate=0.02,
+        sram_upset_rate=1e-15,
+        dram_upset_rate=1e-13,
+        bank_failure_rate=0.002,
+        update_drop_rate=0.001,
+        update_duplicate_rate=0.001,
+    ),
+    # Low-yield parts in a noisy environment.
+    "harsh": FaultProfile(
+        reram_stuck_cell_rate=1e-4,
+        reram_write_fail_rate=0.10,
+        sram_upset_rate=1e-12,
+        dram_upset_rate=1e-11,
+        bank_failure_rate=0.03,
+        update_drop_rate=0.01,
+        update_duplicate_rate=0.01,
+    ),
+    # End-of-life: endurance half consumed, wear-out tail dominates.
+    "worn": FaultProfile(
+        reram_stuck_cell_rate=1e-5,
+        reram_endurance_writes=1e8,
+        reram_lifetime_writes=5e7,
+        reram_write_fail_rate=0.15,
+        sram_upset_rate=1e-13,
+        dram_upset_rate=1e-12,
+        bank_failure_rate=0.05,
+        update_drop_rate=0.005,
+        update_duplicate_rate=0.005,
+    ),
+}
+
+
+def make_profile(name: str, seed: int | None = None) -> FaultProfile:
+    """Look up a named profile, optionally overriding its seed."""
+    if name not in FAULT_PROFILES:
+        known = ", ".join(FAULT_PROFILES)
+        raise ConfigError(f"unknown fault profile {name!r}; known: {known}")
+    profile = FAULT_PROFILES[name]
+    if seed is not None:
+        profile = profile.with_seed(seed)
+    return profile

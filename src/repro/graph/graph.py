@@ -9,6 +9,7 @@ edge-centric (Section 2.1) and consume the arrays directly.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -110,6 +111,27 @@ class Graph:
         return cls.from_edges(num_vertices, [], name=name)
 
     # --- basic properties -----------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content digest of the graph (topology + weights + name).
+
+        Stable across processes and independent of object identity —
+        two graphs with the same edges hash the same, and a new graph
+        reusing a freed object's memory address does not collide.  Used
+        by the run cache; memoised because the arrays are immutable.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"{self.name}|{self.num_vertices}|".encode())
+        h.update(self.src.tobytes())
+        h.update(self.dst.tobytes())
+        if self.weights is not None:
+            h.update(self.weights.tobytes())
+        digest = h.hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
 
     @property
     def num_edges(self) -> int:

@@ -14,6 +14,7 @@ to a block's slack space, so it is implemented here once.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 
 import numpy as np
@@ -57,6 +58,7 @@ def load_edge_list(
     dsts: list[int] = []
     weights: list[float] = []
     header_vertices: int | None = None
+    columns: int | None = None
     with path.open() as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -65,7 +67,19 @@ def load_edge_list(
             if line.startswith("#"):
                 body = line[1:].strip()
                 if body.lower().startswith("vertices:"):
-                    header_vertices = int(body.split(":", 1)[1])
+                    count = body.split(":", 1)[1].strip()
+                    try:
+                        header_vertices = int(count)
+                    except ValueError:
+                        raise GraphError(
+                            f"{path}:{lineno}: malformed vertex-count "
+                            f"header: {count!r}"
+                        ) from None
+                    if header_vertices < 0:
+                        raise GraphError(
+                            f"{path}:{lineno}: negative vertex count: "
+                            f"{header_vertices}"
+                        )
                 continue
             parts = line.split()
             if len(parts) not in (2, 3):
@@ -73,12 +87,40 @@ def load_edge_list(
                     f"{path}:{lineno}: expected 'src dst [weight]', "
                     f"got {line!r}"
                 )
-            srcs.append(int(parts[0]))
-            dsts.append(int(parts[1]))
+            if columns is None:
+                columns = len(parts)
+            elif len(parts) != columns:
+                raise GraphError(
+                    f"{path}:{lineno}: inconsistent column count "
+                    f"({len(parts)} vs {columns} on earlier lines)"
+                )
+            try:
+                s, d = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphError(
+                    f"{path}:{lineno}: vertex ids must be integers, "
+                    f"got {line!r}"
+                ) from None
+            if s < 0 or d < 0:
+                raise GraphError(
+                    f"{path}:{lineno}: negative vertex id in {line!r}"
+                )
+            srcs.append(s)
+            dsts.append(d)
             if len(parts) == 3:
-                weights.append(float(parts[2]))
-    if weights and len(weights) != len(srcs):
-        raise GraphError(f"{path}: only some edges carry weights")
+                try:
+                    w = float(parts[2])
+                except ValueError:
+                    raise GraphError(
+                        f"{path}:{lineno}: malformed edge weight "
+                        f"{parts[2]!r}"
+                    ) from None
+                if not math.isfinite(w):
+                    raise GraphError(
+                        f"{path}:{lineno}: edge weight must be finite, "
+                        f"got {parts[2]!r}"
+                    )
+                weights.append(w)
     n = num_vertices
     if n is None:
         n = header_vertices

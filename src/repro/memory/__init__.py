@@ -27,6 +27,13 @@ from .nvsim import (
     solve_sram,
     table3,
 )
+from .ecc import (
+    SECDED_CHECK_BITS,
+    SECDED_DATA_BITS,
+    SECDEDDevice,
+    secded_factor,
+    secded_logic_energy,
+)
 from .reram import RANDOM_READ_LATENCY, ReRAMChip, ReRAMConfig
 from .dram import DDR4Chip, DDR4Currents, DDR4Timings, DRAMConfig
 from .sram import OnChipSRAM
@@ -64,6 +71,11 @@ __all__ = [
     "best_energy_point",
     "solve_sram",
     "table3",
+    "SECDED_CHECK_BITS",
+    "SECDED_DATA_BITS",
+    "SECDEDDevice",
+    "secded_factor",
+    "secded_logic_energy",
     "RANDOM_READ_LATENCY",
     "ReRAMChip",
     "ReRAMConfig",

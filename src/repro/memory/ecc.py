@@ -1,0 +1,73 @@
+"""SECDED ECC folded into a device's per-access cost.
+
+A (72, 64) Hamming single-error-correct / double-error-detect code
+protects each 64-bit data word with 8 check bits.  Wrapping a device in
+:class:`SECDEDDevice` folds the protection into every access:
+
+* 12.5% more bits move per access (check bits share the burst), so
+  per-access energy *and* latency scale by 72/64;
+* a small encode/decode logic energy is paid per protected word;
+* check bits occupy storage, so background (standby/refresh) power
+  scales by the same 72/64 capacity factor.
+
+The wrapper preserves the inner device's data-facing ``access_bits`` —
+callers keep counting data bits; the overhead is priced, not exposed.
+"""
+
+from __future__ import annotations
+
+from .base import AccessCost, AccessKind, AccessPattern, MemoryDevice
+from ..units import PJ
+
+#: Data bits protected by one SECDED code word.
+SECDED_DATA_BITS = 64
+
+#: Check bits per protected data word: (72, 64) Hamming + parity.
+SECDED_CHECK_BITS = 8
+
+#: Energy of encoding + decoding one SECDED word (XOR trees; tiny next
+#: to a memory access).
+SECDED_LOGIC_ENERGY_PER_WORD = 0.05 * PJ
+
+
+def secded_factor() -> float:
+    """Traffic/capacity multiplier of SECDED: (64 + 8) / 64."""
+    return (SECDED_DATA_BITS + SECDED_CHECK_BITS) / SECDED_DATA_BITS
+
+
+def secded_logic_energy(bits: float) -> float:
+    """Encode/decode energy for ``bits`` protected data bits."""
+    return (bits / SECDED_DATA_BITS) * SECDED_LOGIC_ENERGY_PER_WORD
+
+
+class SECDEDDevice(MemoryDevice):
+    """A memory device with SECDED protection on every access."""
+
+    def __init__(self, inner: MemoryDevice) -> None:
+        super().__init__()
+        self.inner = inner
+        factor = secded_factor()
+        self.access_bits = inner.access_bits
+        self.standby_power = inner.standby_power * factor
+        self.gated_power = inner.gated_power * factor
+
+    def access_cost(
+        self, kind: AccessKind, pattern: AccessPattern
+    ) -> AccessCost:
+        base = self.inner.access_cost(kind, pattern)
+        factor = secded_factor()
+        return AccessCost(
+            latency=base.latency * factor,
+            energy=base.energy * factor
+            + secded_logic_energy(self.access_bits),
+        )
+
+    def __getattr__(self, name: str):
+        # Forward device-specific attributes (e.g. ReRAM bank metadata,
+        # SRAM operating points) to the wrapped device.
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SECDEDDevice({self.inner!r})"

@@ -79,6 +79,8 @@ class BankPowerGating:
         streamed_bits: float,
         bank_capacity_bits: float,
         duration: float,
+        failed_banks: int = 0,
+        transition_factor: float = 1.0,
     ) -> GatingReport:
         """Plan gating for a run that streams ``streamed_bits`` overall.
 
@@ -90,6 +92,12 @@ class BankPowerGating:
             streamed_bits: total bits read over the whole execution.
             bank_capacity_bits: capacity of one bank.
             duration: modelled execution time (s).
+            failed_banks: banks spared out by the fault-remap layer;
+                they are electrically isolated (counted as gated) but
+                shrink the pool the stream rotates through.
+            transition_factor: multiplier on wake transitions from
+                remap detours (see ``faults.resilience``); 1.0 when no
+                sparing is active.
 
         Returns:
             A :class:`GatingReport`; with gating disabled (or all banks
@@ -103,25 +111,36 @@ class BankPowerGating:
             )
         if streamed_bits < 0 or duration < 0:
             raise ConfigError("streamed bits and duration must be >= 0")
-        if not self.policy.enabled or active_banks >= num_banks:
+        if not 0 <= failed_banks < num_banks:
+            raise ConfigError(
+                f"failed banks must lie in [0, {num_banks}): {failed_banks}"
+            )
+        if transition_factor < 1.0:
+            raise ConfigError(
+                f"transition factor must be >= 1: {transition_factor}"
+            )
+        healthy_banks = num_banks - failed_banks
+        if not self.policy.enabled or active_banks >= healthy_banks:
             return GatingReport(0.0, 0, 0.0, 0.0)
 
-        # One wake per bank-boundary crossing of the sequential stream.
+        # One wake per bank-boundary crossing of the sequential stream;
+        # remap detours (spared banks) add crossings.
         if bank_capacity_bits <= 0:
             raise ConfigError("bank capacity must be positive")
         transitions = int(math.ceil(streamed_bits / bank_capacity_bits))
         transitions = max(transitions, 1) if streamed_bits > 0 else 0
+        transitions = int(math.ceil(transitions * transition_factor))
 
         # Idle-timeout keeps the previous bank powered a little longer
         # after each crossing; express that as extra average-active banks.
         if duration > 0:
             timeout_share = min(
-                float(num_banks - active_banks),
+                float(healthy_banks - active_banks),
                 transitions * self.policy.idle_timeout / duration,
             )
         else:
             timeout_share = 0.0
-        avg_active = min(float(num_banks), active_banks + timeout_share)
+        avg_active = min(float(healthy_banks), active_banks + timeout_share)
         gated_fraction = (num_banks - avg_active) / num_banks
 
         overhead_energy = transitions * self.policy.wake_energy

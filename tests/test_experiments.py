@@ -68,6 +68,64 @@ class TestRegistry:
         assert "ablation_execution_model" in ALL_EXPERIMENTS
         assert "ablation_density" in ALL_EXPERIMENTS
 
+    def test_resilience_present(self):
+        assert "resilience" in ALL_EXPERIMENTS
+
+
+class TestRunAllIsolation:
+    def test_failing_driver_isolated(self, monkeypatch, tmp_path):
+        import repro.experiments as experiments
+
+        def boom():
+            raise RuntimeError("driver exploded")
+
+        def ok():
+            return ExperimentResult("ok_exp", "fine", ["v"], rows=[[1]])
+
+        monkeypatch.setattr(experiments, "ALL_EXPERIMENTS",
+                            {"boom": boom, "ok_exp": ok})
+        out = experiments.run_all(save=False, isolate_errors=True)
+        assert set(out) == {"boom", "ok_exp"}
+        assert out["boom"].title.startswith("FAILED")
+        assert "driver exploded" in out["boom"].rows[0][0]
+        assert out["ok_exp"].rows == [[1]]
+
+    def test_failing_driver_raises_without_isolation(self, monkeypatch):
+        import repro.experiments as experiments
+
+        def boom():
+            raise RuntimeError("driver exploded")
+
+        monkeypatch.setattr(experiments, "ALL_EXPERIMENTS", {"boom": boom})
+        with pytest.raises(RuntimeError):
+            experiments.run_all(save=False)
+
+
+class TestResilienceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import resilience
+
+        return resilience.run()
+
+    def test_shape(self, result):
+        from repro.experiments.resilience import MACHINE_ORDER, PROFILE_ORDER
+
+        assert len(result.rows) == len(MACHINE_ORDER) * len(PROFILE_ORDER)
+
+    def test_none_rows_retain_everything(self, result):
+        for row in result.rows:
+            if row[0] == "none":
+                assert row[3] == "100.0%"
+                assert row[7] == 0  # nothing injected
+
+    def test_faults_never_raise_efficiency(self, result):
+        from repro.experiments.resilience import MACHINE_ORDER
+
+        eff = {(row[0], row[1]): row[2] for row in result.rows}
+        for machine in MACHINE_ORDER:
+            assert eff[("harsh", machine)] <= eff[("none", machine)]
+
 
 class TestTable1:
     def test_navg_close_to_paper(self):

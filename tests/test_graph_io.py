@@ -7,6 +7,60 @@ from repro.errors import GraphError
 from repro.graph import Graph, IntervalBlockPartition, io
 
 
+class TestEdgeListValidation:
+    """Malformed edge-list inputs fail with GraphError + line number."""
+
+    def _load(self, tmp_path, text):
+        path = tmp_path / "bad.txt"
+        path.write_text(text)
+        return io.load_edge_list(path)
+
+    def test_non_integer_vertex_id(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:2.*integers"):
+            self._load(tmp_path, "0 1\n2 banana\n")
+
+    def test_float_vertex_id(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:1"):
+            self._load(tmp_path, "0.5 1\n")
+
+    def test_negative_vertex_id(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:2.*negative"):
+            self._load(tmp_path, "0 1\n-3 2\n")
+
+    def test_nan_weight(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:1.*finite"):
+            self._load(tmp_path, "0 1 nan\n")
+
+    def test_inf_weight(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:2.*finite"):
+            self._load(tmp_path, "0 1 2.5\n1 0 inf\n")
+
+    def test_malformed_weight(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:1.*weight"):
+            self._load(tmp_path, "0 1 heavy\n")
+
+    def test_inconsistent_columns(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:2.*column"):
+            self._load(tmp_path, "0 1\n1 2 3.5\n")
+
+    def test_too_many_columns(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:1"):
+            self._load(tmp_path, "0 1 2 3\n")
+
+    def test_malformed_vertex_header(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:1.*vertex-count"):
+            self._load(tmp_path, "# vertices: many\n0 1\n")
+
+    def test_negative_vertex_header(self, tmp_path):
+        with pytest.raises(GraphError, match=r"bad\.txt:1.*negative"):
+            self._load(tmp_path, "# vertices: -4\n")
+
+    def test_blank_lines_and_comments_ok(self, tmp_path):
+        g = self._load(tmp_path, "# a comment\n\n0 1\n\n1 2\n")
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+
 class TestEdgeListText:
     def test_round_trip(self, tiny_graph, tmp_path):
         path = tmp_path / "g.txt"

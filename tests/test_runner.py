@@ -87,6 +87,50 @@ class TestCache:
         assert b.values[1] == 0
 
 
+class TestCacheKeying:
+    """The cache keys on graph *content*, not object identity.
+
+    Regression: the key used to include ``id(graph)``; CPython recycles
+    addresses after garbage collection, so a new graph allocated at a
+    dead graph's address (with the same name) could be served the stale
+    run.  A content fingerprint cannot collide that way.
+    """
+
+    def test_equal_content_shares_entry(self):
+        clear_run_cache()
+        a = rmat(128, 600, seed=7, name="same")
+        b = rmat(128, 600, seed=7, name="same")
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+        assert run_cached(PageRank(), a) is run_cached(PageRank(), b)
+
+    def test_different_content_same_name_not_conflated(self):
+        clear_run_cache()
+        a = rmat(128, 600, seed=7, name="same")
+        b = rmat(128, 600, seed=8, name="same")
+        ra = run_cached(PageRank(), a)
+        rb = run_cached(PageRank(), b)
+        assert ra is not rb
+        assert not np.array_equal(ra.values, rb.values)
+
+    def test_survives_object_reuse(self):
+        """A fresh graph must never see a dead graph's cached run."""
+        import gc
+
+        clear_run_cache()
+        results = []
+        for seed in (1, 2):
+            graph = rmat(128, 600, seed=seed, name="recycled")
+            results.append(run_cached(PageRank(), graph).values.copy())
+            del graph
+            gc.collect()  # encourage address reuse for the next graph
+        assert not np.array_equal(results[0], results[1])
+
+    def test_fingerprint_distinguishes_weights(self):
+        g = rmat(64, 300, seed=3)
+        assert g.fingerprint() != g.with_unit_weights().fingerprint()
+
+
 class TestConvergenceGuard:
     def test_iteration_cap_enforced(self, small_rmat):
         algo = ConnectedComponents()

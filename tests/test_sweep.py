@@ -1,11 +1,19 @@
 """Tests for the generic design-space sweep helper."""
 
+import json
+
 import pytest
 
 from repro.algorithms import PageRank
 from repro.arch.config import Workload
-from repro.arch.sweep import best_point, pareto_front, sweep
-from repro.errors import ConfigError
+from repro.arch.sweep import (
+    SweepPolicy,
+    best_point,
+    pareto_front,
+    successful_points,
+    sweep,
+)
+from repro.errors import ConfigError, SweepPointError
 from repro.graph import rmat
 from repro.units import MB
 
@@ -46,6 +54,109 @@ class TestSweep:
     def test_rejects_empty_values(self, workload):
         with pytest.raises(ConfigError):
             sweep("num_pus", [], PageRank, workload)
+
+
+class TestRobustSweep:
+    """Timeout / retry / error isolation / checkpointing."""
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            SweepPolicy(timeout=0)
+        with pytest.raises(ConfigError):
+            SweepPolicy(retries=-1)
+        with pytest.raises(ConfigError):
+            SweepPolicy(backoff=-0.5)
+
+    def test_failing_point_kills_strict_sweep(self, workload):
+        with pytest.raises(SweepPointError):
+            sweep("num_pus", [4, -1], PageRank, workload)
+
+    def test_failing_point_isolated(self, workload):
+        policy = SweepPolicy(isolate_errors=True)
+        points = sweep("num_pus", [4, -1, 8], PageRank, workload,
+                       policy=policy)
+        assert len(points) == 3
+        ok = successful_points(points)
+        assert [p.value for p in ok] == [4, 8]
+        failed = points[1]
+        assert not failed.ok
+        assert failed.report is None
+        assert "ConfigError" in failed.error
+        with pytest.raises(SweepPointError):
+            _ = failed.mteps_per_watt
+        # Selection helpers skip the failure.
+        assert best_point(points).ok
+        assert all(p.ok for p in pareto_front(points))
+
+    def test_timeout_counts_as_failure(self):
+        # Fresh graph: a cold run cache keeps the evaluation well past
+        # the timeout (a warm one can finish inside a GIL slice).
+        graph = rmat(2048, 16000, seed=31, name="sweep-timeout")
+        policy = SweepPolicy(timeout=1e-4, isolate_errors=True)
+        points = sweep("num_pus", [4], PageRank, graph, policy=policy)
+        assert not points[0].ok
+        assert "timeout" in points[0].error
+
+    def test_retries_consumed(self, workload):
+        calls = []
+
+        def exploding_factory():
+            calls.append(1)
+            raise RuntimeError("flaky")
+
+        policy = SweepPolicy(retries=2, backoff=0.0, isolate_errors=True)
+        points = sweep("num_pus", [4], exploding_factory, workload,
+                       policy=policy)
+        assert points[0].attempts == 3
+        assert len(calls) == 3
+        assert "RuntimeError" in points[0].error
+
+    def test_retry_then_success(self, workload):
+        attempts = []
+
+        def flaky_factory():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise RuntimeError("transient")
+            return PageRank()
+
+        policy = SweepPolicy(retries=2, backoff=0.0)
+        points = sweep("num_pus", [4], flaky_factory, workload,
+                       policy=policy)
+        assert points[0].ok
+        assert points[0].attempts == 2
+
+    def test_checkpoint_resume(self, workload, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        policy = SweepPolicy(isolate_errors=True, checkpoint_path=ckpt)
+        first = sweep("num_pus", [4, -1, 8], PageRank, workload,
+                      policy=policy)
+        lines = [json.loads(l) for l in ckpt.read_text().splitlines()]
+        assert len(lines) == 3
+        assert sum(1 for l in lines if l["report"] is not None) == 2
+        # Resume: successful points come from the checkpoint verbatim,
+        # the failed point is re-attempted (and recorded again).
+        second = sweep("num_pus", [4, -1, 8], PageRank, workload,
+                       policy=policy)
+        assert second[0].report.to_dict() == first[0].report.to_dict()
+        assert second[2].report.to_dict() == first[2].report.to_dict()
+        assert not second[1].ok
+        assert len(ckpt.read_text().splitlines()) == 4
+
+    def test_corrupt_checkpoint_rejected(self, workload, tmp_path):
+        ckpt = tmp_path / "sweep.jsonl"
+        ckpt.write_text("not json\n")
+        policy = SweepPolicy(checkpoint_path=ckpt)
+        with pytest.raises(ConfigError):
+            sweep("num_pus", [4], PageRank, workload, policy=policy)
+
+    def test_empty_selection_after_failures(self, workload):
+        policy = SweepPolicy(isolate_errors=True)
+        points = sweep("num_pus", [-1, -2], PageRank, workload,
+                       policy=policy)
+        assert not successful_points(points)
+        with pytest.raises(ConfigError):
+            best_point(points)
 
 
 class TestSelection:
