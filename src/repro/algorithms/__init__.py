@@ -18,7 +18,8 @@ from .runner import (
     run_cached,
     run_vectorized,
 )
-from .vertex_centric import VertexCentricRun, run_vertex_centric
+from .vertex_centric import (VertexCentricRun, run_vertex_centric,
+                             run_vertex_centric_cached)
 
 #: The three algorithms of the main evaluation (Figs. 14-18, Table 4).
 CORE_ALGORITHMS = ("BFS", "CC", "PR")
@@ -62,6 +63,7 @@ __all__ = [
     "run_vectorized",
     "VertexCentricRun",
     "run_vertex_centric",
+    "run_vertex_centric_cached",
     "CORE_ALGORITHMS",
     "GRAPHR_ALGORITHMS",
     "make_algorithm",

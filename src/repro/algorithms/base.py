@@ -41,6 +41,12 @@ class EdgeCentricAlgorithm:
     #: Short name used in reports ("PR", "BFS"...).
     name: str = "base"
 
+    #: Instance attributes holding per-run scratch state (derived from
+    #: the graph during execution, e.g. PageRank's out-degree array).
+    #: They are excluded from :meth:`signature` so an algorithm object
+    #: hashes the same before and after it has been run.
+    transient_attrs: tuple[str, ...] = ()
+
     #: Serialised width of one vertex value in bits.  PageRank carries a
     #: wider vertex record (rank + out-degree) than BFS/CC/SSSP, which is
     #: why data sharing helps PR most (Section 7.3.1).
@@ -109,6 +115,24 @@ class EdgeCentricAlgorithm:
 
     # --- helpers -------------------------------------------------------------
 
+    def signature(self) -> str:
+        """Stable cache key for this algorithm's parameterisation.
+
+        Derived from the instance ``__dict__`` (minus
+        :attr:`transient_attrs`), so *every* parameter that can change
+        the result participates — algorithms with differently named
+        parameters cannot silently collide the way a hardcoded
+        attribute list allowed.  Array-valued parameters (e.g. SpMV's
+        input vector) contribute a content digest.
+        """
+        parts = [f"{type(self).__qualname__}:{self.name}"]
+        state = vars(self)
+        for key in sorted(state):
+            if key in self.transient_attrs:
+                continue
+            parts.append(f"{key}={stable_value_repr(state[key])}")
+        return "|".join(parts)
+
     def check_iteration_budget(self, iteration: int) -> None:
         if iteration >= self.max_iterations:
             raise ConvergenceError(
@@ -123,6 +147,21 @@ class EdgeCentricAlgorithm:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+def stable_value_repr(value: object) -> str:
+    """Deterministic, content-based repr for signature/cache keys.
+
+    Plain ``repr`` is stable for scalars and strings but useless for
+    numpy arrays (it elides elements); arrays are digested instead.
+    """
+    if isinstance(value, np.ndarray):
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=8)
+        h.update(np.ascontiguousarray(value).tobytes())
+        return f"ndarray[{value.dtype},{value.shape}]#{h.hexdigest()}"
+    return repr(value)
 
 
 def scatter_add(acc: np.ndarray, dst: np.ndarray, contrib: np.ndarray) -> None:

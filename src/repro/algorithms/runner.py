@@ -18,6 +18,7 @@ count follows analytically from the schedule (Equations (3), (4), (7),
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -106,17 +107,27 @@ def run_blocked(
     num_intervals: int,
     num_pus: int = 1,
 ) -> AlgorithmRun:
-    """Execute in the exact block order of Algorithm 2.
+    """Execute in the block-major super-block order of Algorithm 2.
 
     Super blocks are scanned column-major (``y`` outer, ``x`` inner, as
-    in Algorithm 2); within a super block the N PUs process blocks in
-    round-robin steps.  Because updates read previous-iteration source
-    values only, the result matches :func:`run_vectorized` exactly.
+    in Algorithm 2).  Edges are permuted once into block-major order
+    (the partition's :attr:`streamed_edges`, mirroring the one-shot
+    Section 3.4 preprocessing), so every dispatch below consumes a
+    *contiguous slice* of the permuted arrays — no per-block gather.
+    Within a super block the N blocks sharing a source interval are
+    adjacent, so a whole super block dispatches to ``process_edges`` in
+    at most N fused calls (one per source-interval row) instead of N^2.
+
+    The round-robin step structure of Algorithm 2 only affects *when* a
+    block is processed, never the answer: updates read
+    previous-iteration source values only, so any order within an
+    iteration computes the same result as :func:`run_vectorized`.
     """
     streamed = algorithm.transform_graph(graph)
-    partition = IntervalBlockPartition.build(streamed, num_intervals)
+    partition = IntervalBlockPartition.cached(streamed, num_intervals)
     q = num_intervals // num_pus
     partition.num_super_blocks(num_pus)  # validates divisibility
+    bm_src, bm_dst, bm_weights = partition.streamed_edges
 
     values = algorithm.initial_values(streamed)
     active = algorithm.initial_active(streamed)
@@ -126,27 +137,21 @@ def run_blocked(
         active_sources.append(active)
         acc = algorithm.iteration_start(values, streamed)
         for y in range(q):
+            j_start = y * num_pus
+            j_stop = j_start + num_pus
             for x in range(q):
-                for step in range(num_pus):
-                    for pu in range(num_pus):
-                        i = x * num_pus + (pu + step) % num_pus
-                        j = y * num_pus + pu
-                        idx = partition.block_edge_indices(i, j)
-                        if idx.size == 0:
-                            continue
-                        w = (
-                            streamed.weights[idx]
-                            if streamed.weights is not None
-                            else None
-                        )
-                        algorithm.process_edges(
-                            values,
-                            acc,
-                            streamed.src[idx],
-                            streamed.dst[idx],
-                            w,
-                            streamed,
-                        )
+                for i in range(x * num_pus, (x + 1) * num_pus):
+                    sel = partition.block_row_slice(i, j_start, j_stop)
+                    if sel.start == sel.stop:
+                        continue
+                    algorithm.process_edges(
+                        values,
+                        acc,
+                        bm_src[sel],
+                        bm_dst[sel],
+                        None if bm_weights is None else bm_weights[sel],
+                        streamed,
+                    )
         result = algorithm.iteration_end(values, acc, streamed, iterations)
         values = result.values
         active = result.active_vertices
@@ -170,9 +175,35 @@ def run_blocked(
     )
 
 
-# --- run cache -------------------------------------------------------------
+# --- streamed-transform memo ------------------------------------------------
 
-_RUN_CACHE: dict[tuple[str, str], AlgorithmRun] = {}
+#: Streamed (post-``transform_graph``) graphs, keyed on
+#: ``(graph.fingerprint(), algorithm.signature())``.  CC symmetrises and
+#: SSSP/SpMV attach weights on every call; memoising the result means
+#: repeated runs (and the GraphR shape statistics) reuse one object —
+#: and therefore one memoised fingerprint — instead of rebuilding and
+#: re-hashing O(E) arrays each time.
+_TRANSFORM_MEMO: "OrderedDict[tuple[str, str], Graph]" = OrderedDict()
+_TRANSFORM_MEMO_CAPACITY = 64
+
+
+def transform_cached(
+    algorithm: EdgeCentricAlgorithm, graph: Graph
+) -> Graph:
+    """Memoised ``algorithm.transform_graph(graph)``."""
+    key = (graph.fingerprint(), algorithm.signature())
+    streamed = _TRANSFORM_MEMO.get(key)
+    if streamed is not None:
+        _TRANSFORM_MEMO.move_to_end(key)
+        return streamed
+    streamed = algorithm.transform_graph(graph)
+    _TRANSFORM_MEMO[key] = streamed
+    while len(_TRANSFORM_MEMO) > _TRANSFORM_MEMO_CAPACITY:
+        _TRANSFORM_MEMO.popitem(last=False)
+    return streamed
+
+
+# --- run cache -------------------------------------------------------------
 
 
 def run_cached(
@@ -189,21 +220,31 @@ def run_cached(
     an address-based key can serve a stale run for a *different* graph
     that happens to reuse the same address (and misses needlessly for
     equal graphs loaded twice).
+
+    Backed by :class:`repro.perf.cache.RunCache`: a bounded in-memory
+    LRU in front of an on-disk store, so fresh processes (the CLI,
+    benchmarks, parallel sweep workers) skip re-convergence entirely.
     """
-    key = (graph.fingerprint(), _signature(algorithm))
-    if key not in _RUN_CACHE:
-        _RUN_CACHE[key] = run_vectorized(algorithm, graph)
-    return _RUN_CACHE[key]
+    from ..perf.cache import get_run_cache
+
+    return get_run_cache().get_or_run(algorithm, graph)
 
 
 def clear_run_cache() -> None:
-    _RUN_CACHE.clear()
+    """Drop the in-memory run cache (the on-disk store is kept; use
+    :meth:`repro.perf.cache.RunCache.clear` to wipe both)."""
+    from ..perf.cache import get_run_cache
+
+    get_run_cache().clear(disk=False)
 
 
 def _signature(algorithm: EdgeCentricAlgorithm) -> str:
-    parts = [algorithm.name]
-    for attr in ("damping", "iterations", "tolerance", "root", "source",
-                 "symmetrize"):
-        if hasattr(algorithm, attr):
-            parts.append(f"{attr}={getattr(algorithm, attr)}")
-    return ",".join(parts)
+    """Algorithm cache key; see :meth:`EdgeCentricAlgorithm.signature`.
+
+    Historical note: this used to hash a hardcoded attribute list
+    (``damping``, ``tolerance``, ...), silently colliding for any
+    algorithm with a differently named — or underscore-prefixed —
+    parameter (SpMV's input vector).  The signature is now derived from
+    the instance state itself.
+    """
+    return algorithm.signature()

@@ -129,6 +129,15 @@ def run_vertex_centric(
     )
 
 
+def run_vertex_centric_cached(
+    algorithm: EdgeCentricAlgorithm, graph: Graph
+) -> VertexCentricRun:
+    """:func:`run_vertex_centric` through the persistent run cache."""
+    from ..perf.cache import get_run_cache
+
+    return get_run_cache().get_or_run_vertex_centric(algorithm, graph)
+
+
 def _expand_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     """Concatenate [start, start+length) ranges without a Python loop."""
     keep = lengths > 0

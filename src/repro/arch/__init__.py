@@ -35,8 +35,8 @@ from .report import (
 )
 from .router import RouterModel
 from .scheduler import ScheduleCounts, estimate_imbalance
-from .sweep import (SweepPoint, SweepPolicy, best_point,
-                    pareto_front, successful_points, sweep)
+from .sweep import (SweepPoint, SweepPolicy, best_point, pareto_front,
+                    points_to_csv, successful_points, sweep)
 
 __all__ = [
     "params",
@@ -86,6 +86,7 @@ __all__ = [
     "SweepPolicy",
     "best_point",
     "pareto_front",
+    "points_to_csv",
     "successful_points",
     "sweep",
 ]

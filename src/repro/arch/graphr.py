@@ -22,7 +22,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..algorithms.base import EdgeCentricAlgorithm
-from ..algorithms.runner import run_cached
+from ..algorithms.runner import run_cached, transform_cached
 from ..graph.graph import Graph
 from ..graph.stats import average_edges_per_nonempty_block
 from ..memory.base import AccessKind, AccessPattern
@@ -64,7 +64,7 @@ class GraphRMachine:
         if isinstance(workload, Graph):
             workload = Workload(workload)
         run = run_cached(algorithm, workload.graph)
-        streamed = algorithm.transform_graph(workload.graph)
+        streamed = transform_cached(algorithm, workload.graph)
 
         edge_scale = workload.edge_scale
         vertex_scale = workload.vertex_scale

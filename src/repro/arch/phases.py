@@ -19,7 +19,7 @@ import enum
 from dataclasses import dataclass
 
 from ..algorithms.base import EdgeCentricAlgorithm
-from ..algorithms.runner import run_cached
+from ..algorithms.runner import run_cached, transform_cached
 from ..errors import ConfigError
 from ..graph.graph import Graph
 from ..graph.hash_partition import hash_partition
@@ -87,7 +87,7 @@ def schedule_phases(
         raise ConfigError(f"need at least one iteration: {iterations}")
 
     run = run_cached(algorithm, workload.graph)
-    streamed = algorithm.transform_graph(workload.graph)
+    streamed = transform_cached(algorithm, workload.graph)
     n = config.num_pus
     p = _partition_count(config, streamed, run.vertex_bits, n)
     partition, _ = hash_partition(streamed, p)

@@ -33,7 +33,7 @@ from .config import HyVEConfig, Workload, choose_num_intervals
 #: reference partition is used (documented model approximation).
 _IMBALANCE_REFERENCE_MULTIPLE = 8
 
-_IMBALANCE_CACHE: dict[tuple[str, str, int], float] = {}
+_IMBALANCE_CACHE: dict[tuple[str, int, bool], float] = {}
 
 
 def estimate_imbalance(run: AlgorithmRun, workload: Workload,
@@ -42,27 +42,42 @@ def estimate_imbalance(run: AlgorithmRun, workload: Workload,
 
     ``hash_placement=False`` models natural (index-order) placement,
     where community structure concentrates edges on some PUs.
+
+    Imbalance is a function of the graph's structure only, so the memo
+    keys on the graph content digest — five algorithms on one workload
+    share a single estimate instead of recomputing it each.
     """
-    key = (workload.name, run.algorithm, num_pus, hash_placement)
+    graph = workload.graph
+    key = (graph.fingerprint(), num_pus, hash_placement)
     if key in _IMBALANCE_CACHE:
         return _IMBALANCE_CACHE[key]
-    graph = workload.graph
-    # The streamed graph may differ (CC symmetrises); imbalance of the
-    # base graph is an adequate proxy and avoids a second partition.
-    p = num_pus * _IMBALANCE_REFERENCE_MULTIPLE
-    while p > max(graph.num_vertices, 1):
-        p //= 2
-    p = max(p - (p % num_pus), num_pus)
-    if p > graph.num_vertices:
-        value = 1.0
-    elif hash_placement:
-        part, _ = hash_partition(graph, p)
-        value = imbalance(part, num_pus)
-    else:
+
+    def compute() -> float:
+        # The streamed graph may differ (CC symmetrises); imbalance of
+        # the base graph is an adequate proxy and avoids a second
+        # partition.
+        p = num_pus * _IMBALANCE_REFERENCE_MULTIPLE
+        while p > max(graph.num_vertices, 1):
+            p //= 2
+        p = max(p - (p % num_pus), num_pus)
+        if p > graph.num_vertices:
+            return 1.0
+        if hash_placement:
+            part, _ = hash_partition(graph, p)
+            return imbalance(part, num_pus)
         from ..graph.partition import IntervalBlockPartition
 
-        part = IntervalBlockPartition.build(graph, p)
-        value = imbalance(part, num_pus)
+        # Routed through the process-wide partition memo: the blocked
+        # executor or another experiment asking for the same
+        # (fingerprint, P) reuses this build.
+        part = IntervalBlockPartition.cached(graph, p)
+        return imbalance(part, num_pus)
+
+    from ..perf.cache import get_run_cache
+
+    value = get_run_cache().get_or_scalar(
+        f"imbalance-n{num_pus}-hash{int(hash_placement)}", graph, compute
+    )
     _IMBALANCE_CACHE[key] = value
     return value
 

@@ -56,6 +56,15 @@ class SweepPolicy:
             successful point recorded there (keyed on the swept field
             and ``repr(value)``) and only evaluates the rest; failed
             points are re-attempted on resume.
+        max_workers: process fan-out.  1 (the default) evaluates points
+            serially in-process; above 1 the points are distributed over
+            a ``ProcessPoolExecutor``.  Results keep the order of
+            ``values`` exactly, per-point timeout/retry/isolation apply
+            inside each worker, the checkpoint is appended by the parent
+            in deterministic order, and the workers warm the shared
+            on-disk run cache (:mod:`repro.perf.cache`) as they go.
+            Requires a picklable ``algorithm_factory`` (a class or a
+            module-level function, not a lambda).
     """
 
     timeout: float | None = None
@@ -63,6 +72,7 @@ class SweepPolicy:
     backoff: float = 0.1
     isolate_errors: bool = False
     checkpoint_path: str | Path | None = None
+    max_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -71,6 +81,10 @@ class SweepPolicy:
             raise ConfigError(f"retries must be >= 0: {self.retries}")
         if self.backoff < 0:
             raise ConfigError(f"backoff must be >= 0: {self.backoff}")
+        if self.max_workers < 1:
+            raise ConfigError(
+                f"max_workers must be >= 1: {self.max_workers}"
+            )
 
 
 @dataclass(frozen=True)
@@ -240,7 +254,13 @@ def sweep(
         checkpoint_path = Path(policy.checkpoint_path)
         checkpoint = _load_checkpoint(checkpoint_path)
 
-    points: list[SweepPoint] = []
+    # Pass 1 — plan: construct configs, resolve checkpoint reuse, and
+    # collect the points that actually need evaluating.  ``slots`` holds
+    # one entry per value, either a finished SweepPoint or a config
+    # pending evaluation; result order therefore always matches
+    # ``values`` exactly, serial or parallel.
+    slots: list[SweepPoint | HyVEConfig] = []
+    pending: list[int] = []
     for value in values:
         key = _point_key(field, value)
         try:
@@ -253,10 +273,9 @@ def sweep(
                 raise SweepPointError(
                     f"sweep value {field}={value!r} rejected: {exc}"
                 ) from exc
-            config, report, attempts = None, None, 0
             error = f"{type(exc).__name__}: {exc}"
-            points.append(SweepPoint(field, value, None, None,
-                                     error=error, attempts=0))
+            slots.append(SweepPoint(field, value, None, None,
+                                    error=error, attempts=0))
             if checkpoint_path is not None:
                 _append_checkpoint(checkpoint_path, {
                     "key": key, "field": field, "value_repr": repr(value),
@@ -265,22 +284,63 @@ def sweep(
             continue
         cached = checkpoint.get(key)
         if cached is not None and cached.get("report") is not None:
-            points.append(SweepPoint(
+            slots.append(SweepPoint(
                 field, value, config,
                 EnergyReport.from_dict(cached["report"]),
                 attempts=int(cached.get("attempts", 1)),
             ))
             continue
+        pending.append(len(slots))
+        slots.append(config)
 
-        report, error, attempts = _evaluate_point(
-            config, algorithm_factory, workload, faults, policy
-        )
+    # Pass 2 — evaluate pending points, serially or over a process pool.
+    outcomes: dict[int, tuple[EnergyReport | None, str | None, int]] = {}
+    if policy.max_workers > 1 and len(pending) > 1:
+        # Workers always isolate; the parent re-raises in deterministic
+        # order below, so strict sweeps fail on the same point they
+        # would have serially.  Each worker process shares the on-disk
+        # run cache, warming it for the others.
+        worker_policy = replace(policy, isolate_errors=True,
+                                checkpoint_path=None, max_workers=1)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(policy.max_workers, len(pending))
+        ) as pool:
+            futures = {
+                idx: pool.submit(
+                    _evaluate_point, slots[idx], algorithm_factory,
+                    workload, faults, worker_policy,
+                )
+                for idx in pending
+            }
+            for idx in pending:
+                outcomes[idx] = futures[idx].result()
+    else:
+        for idx in pending:
+            outcomes[idx] = _evaluate_point(
+                slots[idx], algorithm_factory, workload, faults,
+                replace(policy, isolate_errors=True),
+            )
+
+    # Pass 3 — assemble points in value order, appending the checkpoint
+    # and enforcing strict-mode propagation deterministically.
+    points: list[SweepPoint] = []
+    for i, (value, slot) in enumerate(zip(values, slots)):
+        if isinstance(slot, SweepPoint):
+            points.append(slot)
+            continue
+        config = slot
+        report, error, attempts = outcomes[i]
+        if error is not None and not policy.isolate_errors:
+            raise SweepPointError(
+                f"sweep point {config.label!r} failed after "
+                f"{attempts} attempt(s): {error}"
+            )
         point = SweepPoint(field, value, config, report,
                            error=error, attempts=attempts)
         points.append(point)
         if checkpoint_path is not None:
             _append_checkpoint(checkpoint_path, {
-                "key": key,
+                "key": _point_key(field, value),
                 "field": field,
                 "value_repr": repr(value),
                 "report": report.to_dict() if report else None,
@@ -288,6 +348,38 @@ def sweep(
                 "attempts": attempts,
             })
     return points
+
+
+def points_to_csv(points: list[SweepPoint]) -> str:
+    """Render a sweep as CSV (one row per point, in sweep order).
+
+    Failed points appear with empty metric columns and the error
+    message in the ``error`` column, so a parallel sweep and a serial
+    sweep over the same values render byte-identically.
+    """
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "field", "value", "label", "energy_j", "time_s",
+        "mteps_per_watt", "attempts", "error",
+    ])
+    for point in points:
+        if point.report is None:
+            writer.writerow([
+                point.field, repr(point.value),
+                point.config.label if point.config else "",
+                "", "", "", point.attempts, point.error or "",
+            ])
+        else:
+            writer.writerow([
+                point.field, repr(point.value), point.config.label,
+                repr(point.report.total_energy), repr(point.report.time),
+                repr(point.report.mteps_per_watt), point.attempts, "",
+            ])
+    return buffer.getvalue()
 
 
 def successful_points(points: list[SweepPoint]) -> list[SweepPoint]:

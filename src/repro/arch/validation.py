@@ -60,7 +60,7 @@ def measure_schedule(
 ) -> MeasuredSchedule:
     """Execute Algorithm 2 concretely, counting every access."""
     streamed = algorithm.transform_graph(graph)
-    partition = IntervalBlockPartition.build(streamed, num_intervals)
+    partition = IntervalBlockPartition.cached(streamed, num_intervals)
     q = num_intervals // num_pus
     partition.num_super_blocks(num_pus)  # validates divisibility
     sizes = partition.interval_sizes()

@@ -6,16 +6,21 @@ Commands:
 * ``run`` — simulate one (machine, algorithm, workload) and print the
   report (``--json`` for machine-readable output).
 * ``compare`` — run every machine on one workload and print a ranking.
-* ``experiment`` — regenerate one or more tables/figures.
+* ``experiment`` — regenerate one or more tables/figures
+  (``--jobs N`` fans the drivers out over worker processes).
+* ``cache`` — inspect (``cache info``) or wipe (``cache clear``) the
+  persistent run cache that skips re-running converged algorithms.
 
 Examples::
 
     python -m repro info
     python -m repro run --machine acc+HyVE-opt --algorithm pr --dataset LJ
     python -m repro run --algorithm bfs --graph edges.txt --json
-    python -m repro run --faults harsh --seed 7 --dataset YT
+    python -m repro run --faults harsh --seed 7 --dataset YT --verbose
     python -m repro compare --algorithm pr --dataset YT
     python -m repro experiment fig16 fig21
+    python -m repro experiment --jobs 4
+    python -m repro cache info
 
 Operator errors (unknown names, unreadable graph files, malformed edge
 lists) print one ``error:`` line on stderr and exit with status 2.
@@ -87,6 +92,12 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats() -> None:
+    from .perf.cache import get_run_cache
+
+    print(f"[run cache] {get_run_cache().stats.summary()}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     workload = load_workload(args)
     faults = load_faults(args)
@@ -105,6 +116,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  {bucket:18s} {100 * share:5.1f}%")
         if result.faults is not None:
             print(result.faults.summary())
+    if args.verbose:
+        _print_cache_stats()
     return 0
 
 
@@ -123,11 +136,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for name, eff, energy, time in rows:
         print(f"{name:16s} {eff:10.1f} {energy * 1e3:12.3f} "
               f"{time * 1e3:10.2f}")
+    if args.verbose:
+        _print_cache_stats()
     return 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from .experiments import ALL_EXPERIMENTS
+    from .experiments import ALL_EXPERIMENTS, run_selected
 
     names = args.names or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -135,13 +150,34 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
+    results = run_selected(names, save=False, jobs=args.jobs)
     for name in names:
-        result = ALL_EXPERIMENTS[name]()
+        result = results[name]
         print(result.format())
         if not args.no_save:
             path = result.save()
+            result.save_csv()
             print(f"[saved to {path}]")
         print()
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .perf.cache import get_run_cache
+
+    cache = get_run_cache()
+    if args.action == "clear":
+        removed = cache.clear(disk=True)
+        print(f"removed {removed} cached run(s)")
+        return 0
+    info = cache.info()
+    print(f"directory:      {info['directory'] or '(disk cache disabled)'}")
+    print(f"salt:           {info['salt']}")
+    print(f"disk entries:   {info['disk_entries']}")
+    print(f"disk bytes:     {info['disk_bytes']:,}")
+    print(f"memory entries: {info['memory_entries']} "
+          f"(limit {info['memory_limit']})")
+    print(f"session stats:  {cache.stats.summary()}")
     return 0
 
 
@@ -173,9 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default="acc+HyVE-opt")
     run.add_argument("--json", action="store_true",
                      help="print the full report as JSON")
+    run.add_argument("--verbose", action="store_true",
+                     help="print run-cache statistics after the report")
 
     compare = sub.add_parser("compare", help="rank every machine")
     add_workload_args(compare)
+    compare.add_argument("--verbose", action="store_true",
+                         help="print run-cache statistics after the "
+                              "ranking")
 
     exp = sub.add_parser("experiment",
                          help="regenerate paper tables/figures")
@@ -183,6 +224,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment ids (default: all)")
     exp.add_argument("--no-save", action="store_true",
                      help="print only; do not write under results/")
+    exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="run drivers over N worker processes "
+                          "(default 1: serial)")
+
+    cache = sub.add_parser("cache",
+                           help="inspect or clear the persistent run "
+                                "cache")
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="info: show location/size/stats; "
+                            "clear: delete all cached runs")
     return parser
 
 
@@ -193,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "experiment": cmd_experiment,
+        "cache": cmd_cache,
     }
     try:
         return handlers[args.command](args)

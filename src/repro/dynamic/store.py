@@ -386,27 +386,43 @@ class GraphRDynamicStore:
             self._bulk_load(graph)
 
     def _bulk_load(self, graph: Graph) -> None:
-        """Vectorised initial tiling (the one-shot preprocessing pass)."""
+        """Vectorised initial tiling (the one-shot preprocessing pass).
+
+        One ``np.unique`` over a combined (tile, cell) key replaces the
+        per-tile ``np.add.at`` scatter of the naive version: cell counts
+        for *all* tiles land in a single preallocated array, and the
+        remaining Python loop only registers dict/index entries (views
+        into that array, one per non-empty tile).
+        """
         t = self.TILE
-        ti = graph.src // t
-        tj = graph.dst // t
-        flat = ti * ((self._num_vertices // t) + 1) + tj
-        order = np.argsort(flat, kind="stable")
-        sorted_flat = flat[order]
-        boundaries = np.nonzero(np.diff(sorted_flat))[0] + 1
-        starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [sorted_flat.size]])
-        for start, end in zip(starts, ends):
-            sel = order[start:end]
-            key = (int(ti[sel[0]]), int(tj[sel[0]]))
-            tile = np.zeros((self.PLANES, t, t), dtype=np.int32)
-            rows = (graph.src[sel] % t).astype(np.int64)
-            cols = (graph.dst[sel] % t).astype(np.int64)
-            np.add.at(tile[0], (rows, cols), 1)
-            counts = tile[0]
+        cells = t * t
+        stride = (self._num_vertices // t) + 1
+        flat = (graph.src // t) * stride + graph.dst // t
+        combined = flat * cells + (graph.src % t) * t + graph.dst % t
+        uniq, counts = np.unique(combined, return_counts=True)
+        cell_idx = uniq % cells
+        tile_flat = uniq // cells
+        boundaries = np.nonzero(np.diff(tile_flat))[0] + 1
+        tile_ids = tile_flat[np.concatenate([[0], boundaries])]
+        ntiles = tile_ids.size
+        sizes = np.diff(np.concatenate([[0], boundaries,
+                                        [tile_flat.size]]))
+        owner = np.repeat(np.arange(ntiles), sizes)
+
+        tiles = np.zeros((ntiles, self.PLANES, t, t), dtype=np.int32)
+        tiles[:, 0].reshape(ntiles, cells)[owner, cell_idx] = counts
+        # Upper planes hold the 4-bit nibbles of the 16-bit cell count;
+        # they are only non-zero where a cell count reaches 16.
+        if counts.size and int(counts.max()) >= 16:
+            base = tiles[:, 0]
             for plane in range(1, self.PLANES):
-                tile[plane] = (counts >> (4 * plane)) & 0xF
-            self._tiles[key] = tile
+                tiles[:, plane] = (base >> (4 * plane)) & 0xF
+
+        rows = (tile_ids // stride).tolist()
+        cols = (tile_ids % stride).tolist()
+        for k, (ti, tj) in enumerate(zip(rows, cols)):
+            key = (int(ti), int(tj))
+            self._tiles[key] = tiles[k]
             self._row_index.setdefault(key[0], set()).add(key)
             self._col_index.setdefault(key[1], set()).add(key)
         self._num_edges = graph.num_edges

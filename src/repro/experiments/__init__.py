@@ -1,6 +1,9 @@
 """Experiment drivers: one module per table/figure of the evaluation."""
 
+import concurrent.futures
 import traceback
+
+from ..errors import ConfigError
 
 from . import (
     ablations,
@@ -65,36 +68,101 @@ ALL_EXPERIMENTS = {
 }
 
 
+def _failure_result(name: str, exc: BaseException) -> ExperimentResult:
+    tail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+    return ExperimentResult(
+        experiment=name,
+        title=f"FAILED: {name}",
+        headers=["Error"],
+        rows=[[tail]],
+        notes="experiment raised; remaining experiments ran",
+    )
+
+
+def _run_experiment_worker(name: str) -> ExperimentResult:
+    """Process-pool worker: run one experiment by id (no saving).
+
+    Module-level so it pickles; results come back to the parent, which
+    saves them in the canonical experiment order.  Workers share the
+    on-disk run cache, so convergence runs computed by one worker are
+    disk hits for the others.
+    """
+    return ALL_EXPERIMENTS[name]()
+
+
+def run_selected(
+    names: list[str] | None = None,
+    save: bool = True,
+    isolate_errors: bool = False,
+    jobs: int = 1,
+) -> dict[str, ExperimentResult]:
+    """Run a subset of experiments (all of them when ``names`` is None).
+
+    ``jobs`` above 1 fans the drivers out over a
+    ``ProcessPoolExecutor``; results are collected, saved, and returned
+    in the canonical experiment order regardless of completion order,
+    so saved text/CSV artifacts are identical to a serial run.  With
+    ``isolate_errors`` a driver that raises does not abort the batch:
+    its slot holds a structured failure table (single "Error" column
+    carrying the traceback tail) and the remaining experiments still
+    run.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1: {jobs}")
+    if names is None:
+        names = list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ConfigError(
+            f"unknown experiment(s) {unknown}; "
+            f"valid: {sorted(ALL_EXPERIMENTS)}"
+        )
+
+    out: dict[str, ExperimentResult] = {}
+    if jobs > 1 and len(names) > 1:
+        # Generate the evaluation datasets in the parent first: with the
+        # default fork start method every worker inherits them, instead
+        # of each worker regenerating all five synthetic graphs.
+        workloads()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(names))
+        ) as pool:
+            futures = {
+                name: pool.submit(_run_experiment_worker, name)
+                for name in names
+            }
+            for name in names:
+                try:
+                    out[name] = futures[name].result()
+                except Exception as exc:
+                    if not isolate_errors:
+                        raise
+                    out[name] = _failure_result(name, exc)
+    else:
+        for name in names:
+            try:
+                out[name] = ALL_EXPERIMENTS[name]()
+            except Exception as exc:
+                if not isolate_errors:
+                    raise
+                out[name] = _failure_result(name, exc)
+    if save:
+        for result in out.values():
+            result.save()
+            result.save_csv()
+    return out
+
+
 def run_all(
-    save: bool = True, isolate_errors: bool = False
+    save: bool = True, isolate_errors: bool = False, jobs: int = 1
 ) -> dict[str, ExperimentResult]:
     """Run every experiment; optionally save text + CSV under results/.
 
-    With ``isolate_errors`` a driver that raises does not abort the
-    batch: its slot holds a structured failure table (single "Error"
-    column carrying the traceback tail) and the remaining experiments
-    still run.
+    A thin wrapper over :func:`run_selected` with ``names=None``; see
+    there for the ``jobs`` and ``isolate_errors`` semantics.
     """
-    out: dict[str, ExperimentResult] = {}
-    for name, runner in ALL_EXPERIMENTS.items():
-        try:
-            result = runner()
-        except Exception as exc:
-            if not isolate_errors:
-                raise
-            tail = traceback.format_exception_only(type(exc), exc)[-1].strip()
-            result = ExperimentResult(
-                experiment=name,
-                title=f"FAILED: {name}",
-                headers=["Error"],
-                rows=[[tail]],
-                notes="experiment raised; remaining experiments ran",
-            )
-        if save:
-            result.save()
-            result.save_csv()
-        out[name] = result
-    return out
+    return run_selected(None, save=save, isolate_errors=isolate_errors,
+                        jobs=jobs)
 
 
 __all__ = [
@@ -104,5 +172,6 @@ __all__ = [
     "ExperimentResult",
     "RESULTS_DIR",
     "run_all",
+    "run_selected",
     "workloads",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ..algorithms import BFS, ConnectedComponents, PageRank
 from ..algorithms.runner import run_cached
-from ..algorithms.vertex_centric import run_vertex_centric
+from ..algorithms.vertex_centric import run_vertex_centric_cached
 from ..arch.config import HyVEConfig
 from ..arch.machine import AcceleratorMachine
 from ..memory.powergate import PowerGatingPolicy
@@ -58,7 +58,7 @@ def run_execution_model() -> ExperimentResult:
                           ("PR", PageRank)):
         for dataset, workload in workloads().items():
             ec = run_cached(factory(), workload.graph)
-            vc = run_vertex_centric(factory(), workload.graph)
+            vc = run_vertex_centric_cached(factory(), workload.graph)
             edge_ratio = vc.edges_examined / max(ec.total_edges, 1)
             # Edge-centric: one sequential 512-bit access per 8 edges.
             ec_energy = ec.total_edges * ec.edge_bits / 512 * seq.energy

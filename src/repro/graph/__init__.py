@@ -17,7 +17,12 @@ from .generators import (
     star,
 )
 from .datasets import DATASET_ORDER, DATASETS, DatasetSpec, load, load_all
-from .partition import IntervalBlockPartition, interval_bounds, interval_of
+from .partition import (
+    IntervalBlockPartition,
+    clear_partition_cache,
+    interval_bounds,
+    interval_of,
+)
 from .hash_partition import HashPlacement, hash_partition, imbalance
 from .stats import (
     CROSSBAR_DIM,
@@ -55,6 +60,7 @@ __all__ = [
     "load",
     "load_all",
     "IntervalBlockPartition",
+    "clear_partition_cache",
     "interval_bounds",
     "interval_of",
     "HashPlacement",

@@ -13,6 +13,7 @@ arrays, so slicing a block is O(1).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -20,6 +21,28 @@ import numpy as np
 
 from ..errors import PartitionError
 from .graph import Graph
+
+#: Memoised partitions, keyed on ``(graph.fingerprint(), P)``.  Building
+#: a partition costs an O(E log E) argsort; every consumer (the blocked
+#: executor, the scheduler's imbalance estimate, the serialisation
+#: helpers) wants the same object, so builds are shared process-wide.
+_PARTITION_MEMO: OrderedDict[tuple[str, int], "IntervalBlockPartition"] = (
+    OrderedDict()
+)
+
+#: Upper bound on memoised partitions; beyond it the least recently used
+#: entry is dropped (each entry holds O(E) permutation state).
+_PARTITION_MEMO_CAPACITY = 64
+
+
+def clear_partition_cache() -> None:
+    """Drop every memoised partition (mainly for tests)."""
+    _PARTITION_MEMO.clear()
+
+
+def partition_cache_len() -> int:
+    """Number of partitions currently memoised."""
+    return len(_PARTITION_MEMO)
 
 
 def interval_bounds(num_vertices: int, num_intervals: int) -> np.ndarray:
@@ -45,6 +68,26 @@ def interval_bounds(num_vertices: int, num_intervals: int) -> np.ndarray:
 def interval_of(vertices: np.ndarray, bounds: np.ndarray) -> np.ndarray:
     """Map vertex ids to the interval index containing them."""
     return np.searchsorted(bounds, vertices, side="right") - 1
+
+
+def _even_interval_of(
+    vertices: np.ndarray, num_vertices: int, num_intervals: int
+) -> np.ndarray:
+    """:func:`interval_of` specialised to :func:`interval_bounds` splits.
+
+    The even split puts ``base + 1`` vertices in the first ``extra``
+    intervals and ``base`` in the rest, so the interval index is pure
+    arithmetic — no binary search over the bounds.
+    """
+    base, extra = divmod(num_vertices, num_intervals)
+    if base == 0:  # more intervals than vertices: all ids map directly
+        return np.asarray(vertices, dtype=np.int64).copy()
+    if extra == 0:
+        return vertices // base
+    cut = extra * (base + 1)
+    return np.where(vertices < cut,
+                    vertices // (base + 1),
+                    extra + (vertices - cut) // base)
 
 
 @dataclass(frozen=True)
@@ -83,14 +126,40 @@ class IntervalBlockPartition:
                 f"{num_intervals} non-degenerate intervals"
             )
         bounds = interval_bounds(graph.num_vertices, num_intervals)
-        src_iv = interval_of(graph.src, bounds)
-        dst_iv = interval_of(graph.dst, bounds)
+        src_iv = _even_interval_of(graph.src, graph.num_vertices,
+                                   num_intervals)
+        dst_iv = _even_interval_of(graph.dst, graph.num_vertices,
+                                   num_intervals)
         flat = src_iv * num_intervals + dst_iv
-        order = np.argsort(flat, kind="stable")
+        if num_intervals * num_intervals <= np.iinfo(np.uint16).max:
+            # Radix-sortable key width: numpy's stable sort on 16-bit
+            # integers is an O(E) radix pass instead of O(E log E).
+            order = np.argsort(flat.astype(np.uint16), kind="stable")
+        else:
+            order = np.argsort(flat, kind="stable")
         counts = np.bincount(flat, minlength=num_intervals * num_intervals)
         block_ptr = np.zeros(counts.size + 1, dtype=np.int64)
         np.cumsum(counts, out=block_ptr[1:])
         return cls(graph, num_intervals, bounds, order, block_ptr)
+
+    @classmethod
+    def cached(cls, graph: Graph, num_intervals: int) -> "IntervalBlockPartition":
+        """Memoised :meth:`build`, keyed on ``(fingerprint, P)``.
+
+        Two calls for content-equal graphs and the same P return the
+        *same object* — the one-shot preprocessing premise of Section
+        3.4 (edges are permuted once, then streamed many times).
+        """
+        key = (graph.fingerprint(), int(num_intervals))
+        part = _PARTITION_MEMO.get(key)
+        if part is not None:
+            _PARTITION_MEMO.move_to_end(key)
+            return part
+        part = cls.build(graph, num_intervals)
+        _PARTITION_MEMO[key] = part
+        while len(_PARTITION_MEMO) > _PARTITION_MEMO_CAPACITY:
+            _PARTITION_MEMO.popitem(last=False)
+        return part
 
     # --- intervals -------------------------------------------------------
 
@@ -135,6 +204,49 @@ class IntervalBlockPartition:
         """Original edge indices of block (i, j)."""
         flat = self._flat(i, j)
         return self.order[self.block_ptr[flat]:self.block_ptr[flat + 1]]
+
+    @cached_property
+    def streamed_edges(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """``(src, dst, weights)`` permuted once into block-major order.
+
+        This is the Section 3.4 preprocessing output: the edge arrays as
+        they sit in the sequential ReRAM edge memory.  Computed once per
+        partition; afterwards any run of consecutive blocks is a
+        contiguous O(1) slice (see :meth:`block_slice` /
+        :meth:`block_row_slice`) instead of an O(edges) fancy-indexed
+        gather.
+        """
+        g = self.graph
+        src = g.src[self.order]
+        dst = g.dst[self.order]
+        weights = None if g.weights is None else g.weights[self.order]
+        return src, dst, weights
+
+    def block_slice(self, i: int, j: int) -> slice:
+        """Slice of the block-major arrays covering block (i, j)."""
+        flat = self._flat(i, j)
+        return slice(int(self.block_ptr[flat]),
+                     int(self.block_ptr[flat + 1]))
+
+    def block_row_slice(self, i: int, j_start: int, j_stop: int) -> slice:
+        """Slice covering the contiguous run of blocks (i, j_start..j_stop-1).
+
+        Blocks with the same source interval are adjacent in block-major
+        order, so a whole row segment of a super block is one slice.
+        """
+        if j_stop <= j_start:
+            if j_stop < j_start:
+                raise PartitionError(
+                    f"empty block run: j_start={j_start} > j_stop={j_stop}"
+                )
+            start = int(self.block_ptr[self._flat(i, j_start)])
+            return slice(start, start)
+        first = self._flat(i, j_start)
+        last = self._flat(i, j_stop - 1)
+        return slice(int(self.block_ptr[first]),
+                     int(self.block_ptr[last + 1]))
 
     def _flat(self, i: int, j: int) -> int:
         p = self.num_intervals

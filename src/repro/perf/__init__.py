@@ -1,0 +1,32 @@
+"""Performance engine: persistent run caching and timing harnesses.
+
+This package holds the pieces that make the reproduction *fast* without
+changing any reproduced number:
+
+* :mod:`repro.perf.cache` — a bounded in-memory LRU backed by an
+  on-disk, content-addressed store for converged
+  :class:`~repro.algorithms.runner.AlgorithmRun` objects, so fresh
+  processes (the CLI, benchmarks, sweep workers) skip re-convergence.
+* :mod:`repro.perf.bench` — a wall-clock harness that times experiment
+  drivers and records a ``BENCH_*.json`` perf trajectory for future
+  changes to regress against.
+"""
+
+from .cache import (
+    CacheStats,
+    RunCache,
+    default_cache_dir,
+    get_run_cache,
+    set_run_cache,
+)
+from .bench import bench_experiments, write_bench
+
+__all__ = [
+    "CacheStats",
+    "RunCache",
+    "bench_experiments",
+    "default_cache_dir",
+    "get_run_cache",
+    "set_run_cache",
+    "write_bench",
+]

@@ -1,0 +1,104 @@
+"""Wall-clock timing harness for the experiment drivers.
+
+Records per-experiment and total wall-clock (plus run-cache statistics)
+into a JSON payload, written as ``BENCH_<n>.json`` at the repo root so
+each PR leaves a perf trajectory the next one can regress against::
+
+    PYTHONPATH=src python tools/bench.py --output BENCH_2.json
+    PYTHONPATH=src python tools/bench.py --jobs 4 --experiments fig20 fig21
+
+Timing is wall-clock (``time.perf_counter``), not CPU time: the point
+is the end-to-end latency an operator experiences, including process
+fan-out and cache I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Sequence
+
+#: Schema version of the BENCH_*.json payload.
+BENCH_SCHEMA = 1
+
+
+def _timed_experiment_worker(name: str) -> tuple[str, float]:
+    """Run one experiment driver in this (possibly worker) process.
+
+    Returns ``(name, seconds)``; the table itself is discarded — the
+    harness times, it does not collect results.
+    """
+    from ..experiments import ALL_EXPERIMENTS
+
+    start = time.perf_counter()
+    ALL_EXPERIMENTS[name]()
+    return name, time.perf_counter() - start
+
+
+def bench_experiments(
+    names: Sequence[str] | None = None,
+    jobs: int = 1,
+) -> dict:
+    """Time experiment drivers; returns the BENCH payload dict.
+
+    With ``jobs > 1`` the drivers fan out over a process pool (the same
+    machinery as ``run_all(jobs=...)``); per-experiment times are then
+    measured inside each worker, and ``total_s`` is the end-to-end
+    wall-clock including the fan-out overhead.
+    """
+    from ..experiments import ALL_EXPERIMENTS
+    from .cache import get_run_cache
+
+    chosen = list(names) if names else list(ALL_EXPERIMENTS)
+    unknown = [n for n in chosen if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
+
+    per_experiment: dict[str, float] = {}
+    start = time.perf_counter()
+    if jobs <= 1:
+        for name in chosen:
+            _, seconds = _timed_experiment_worker(name)
+            per_experiment[name] = seconds
+    else:
+        import concurrent.futures
+
+        from ..experiments.common import workloads
+
+        # Same parent prewarm as run_selected(jobs=...): fork-inherited
+        # datasets instead of per-worker regeneration.
+        workloads()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(chosen))
+        ) as pool:
+            futures = {
+                name: pool.submit(_timed_experiment_worker, name)
+                for name in chosen
+            }
+            for name in chosen:
+                _, seconds = futures[name].result()
+                per_experiment[name] = seconds
+    total = time.perf_counter() - start
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "experiments": per_experiment,
+        "total_s": total,
+        "cache": get_run_cache().info(),
+    }
+
+
+def write_bench(payload: dict, path: str | Path) -> Path:
+    """Write a BENCH payload as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

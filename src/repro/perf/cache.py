@@ -1,0 +1,501 @@
+"""Persistent, content-addressed cache for converged algorithm runs.
+
+The evaluation replays the same (graph, algorithm) convergence runs
+against dozens of machine configurations, experiments and processes.
+The run itself is configuration-independent, so it is computed once and
+cached at two levels:
+
+* a bounded in-memory LRU (object identity preserved — two lookups in
+  one process return the *same* :class:`AlgorithmRun`), and
+* an on-disk npz store keyed on ``(Graph.fingerprint(), algorithm
+  signature, code-version salt)``, so the CLI, the benchmarks, sweeps
+  and ``run_all`` skip re-convergence across processes.
+
+The disk layout is one ``<key>.npz`` per entry under the cache
+directory, holding the values array, the per-iteration activity trace
+and a JSON metadata record.  Writes are atomic (tmp file +
+``os.replace``), so concurrent sweep workers can warm the same store.
+
+The key embeds :data:`CACHE_SALT`; bump it whenever an executor change
+alters results, which invalidates every stale entry at once.  The
+directory defaults to ``$REPRO_CACHE_DIR``, falling back to
+``~/.cache/hyve-repro`` (honouring ``$XDG_CACHE_HOME``); a repo-local
+``.repro_cache/`` is one ``REPRO_CACHE_DIR=.repro_cache`` away.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..algorithms.base import EdgeCentricAlgorithm
+from ..algorithms.runner import AlgorithmRun, run_vectorized
+from ..graph.graph import Graph
+
+#: Code-version salt baked into every cache key.  Bump when the
+#: executor or an algorithm changes in a result-affecting way.
+CACHE_SALT = "hyve-run-v1"
+
+#: Default bound on in-memory entries.
+DEFAULT_MAX_ENTRIES = 256
+
+
+def default_cache_dir() -> Path:
+    """Resolve the on-disk store location.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/hyve-repro``
+    or ``~/.cache/hyve-repro``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "hyve-repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/byte counters for one :class:`RunCache` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    errors: int = 0  # unreadable/corrupt disk entries (recomputed)
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "errors": self.errors,
+        }
+
+    def summary(self) -> str:
+        """One line for ``--verbose`` CLI output and reports."""
+        return (
+            f"run cache: {self.hits} hit(s) "
+            f"({self.memory_hits} memory / {self.disk_hits} disk), "
+            f"{self.misses} miss(es), "
+            f"{self.bytes_read} B read, {self.bytes_written} B written"
+        )
+
+
+class RunCache:
+    """Two-level (memory LRU + disk) cache of :class:`AlgorithmRun`.
+
+    Args:
+        directory: on-disk store location; ``None`` resolves via
+            :func:`default_cache_dir`, ``False``-y string disables the
+            disk level entirely (memory-only cache).
+        max_entries: in-memory LRU bound.
+        salt: code-version salt mixed into every key.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        salt: str = CACHE_SALT,
+    ) -> None:
+        if directory is None:
+            self.directory: Path | None = default_cache_dir()
+        elif str(directory) == "":
+            self.directory = None
+        else:
+            self.directory = Path(directory).expanduser()
+        self.max_entries = max(int(max_entries), 1)
+        self.salt = salt
+        self.stats = CacheStats()
+        #: Longest a process waits for a peer's in-flight computation of
+        #: the same entry before computing it itself (see
+        #: :meth:`_singleflight`).
+        self.singleflight_timeout = 30.0
+        self._memory: OrderedDict[str, AlgorithmRun] = OrderedDict()
+
+    # --- keys ------------------------------------------------------------
+
+    def key(
+        self,
+        algorithm: EdgeCentricAlgorithm,
+        graph: Graph,
+        kind: str = "edge",
+    ) -> str:
+        """Content-addressed key: graph digest + algorithm signature + salt.
+
+        ``kind`` separates execution models sharing one (graph,
+        algorithm) pair — the edge-centric run and the vertex-centric
+        run cache under distinct keys.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(graph.fingerprint().encode())
+        h.update(b"|")
+        h.update(algorithm.signature().encode())
+        h.update(b"|")
+        h.update(self.salt.encode())
+        h.update(b"|")
+        h.update(kind.encode())
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.npz"
+
+    # --- main entry ------------------------------------------------------
+
+    def get_or_run(
+        self, algorithm: EdgeCentricAlgorithm, graph: Graph
+    ) -> AlgorithmRun:
+        """Return the cached run, loading or computing it on demand."""
+        key = self.key(algorithm, graph)
+        run = self._memory.get(key)
+        if run is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return run
+        loaded = self._load(key)
+        if loaded is not None:
+            run, _ = loaded
+            self.stats.disk_hits += 1
+        else:
+            self.stats.misses += 1
+
+            def compute() -> AlgorithmRun:
+                result = run_vectorized(algorithm, graph)
+                self._store(key, result)
+                return result
+
+            def try_load():
+                peer = self._load(key)
+                return None if peer is None else peer[0]
+
+            run = self._singleflight(self._path(key), try_load, compute)
+        self._remember(key, run)
+        return run
+
+    def get_or_run_vertex_centric(
+        self, algorithm: EdgeCentricAlgorithm, graph: Graph
+    ):
+        """Like :meth:`get_or_run` for the vertex-centric executor.
+
+        Returns a :class:`repro.algorithms.vertex_centric
+        .VertexCentricRun`; the two traffic counters ride along in the
+        entry's JSON metadata.
+        """
+        from ..algorithms.vertex_centric import (VertexCentricRun,
+                                                 run_vertex_centric)
+
+        key = self.key(algorithm, graph, kind="vertex")
+        vc = self._memory.get(key)
+        if vc is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return vc
+        loaded = self._load(key)
+        if loaded is not None:
+            run, meta = loaded
+            try:
+                vc = VertexCentricRun(
+                    run=run,
+                    edges_examined=int(meta["edges_examined"]),
+                    vertices_scanned=int(meta["vertices_scanned"]),
+                )
+                self.stats.disk_hits += 1
+            except KeyError:
+                self.stats.errors += 1
+                vc = None
+        if vc is None:
+            self.stats.misses += 1
+
+            def compute():
+                result = run_vertex_centric(algorithm, graph)
+                self._store(key, result.run, extra={
+                    "edges_examined": result.edges_examined,
+                    "vertices_scanned": result.vertices_scanned,
+                })
+                return result
+
+            def try_load():
+                peer = self._load(key)
+                if peer is None:
+                    return None
+                run, meta = peer
+                try:
+                    return VertexCentricRun(
+                        run=run,
+                        edges_examined=int(meta["edges_examined"]),
+                        vertices_scanned=int(meta["vertices_scanned"]),
+                    )
+                except KeyError:
+                    return None
+
+            vc = self._singleflight(self._path(key), try_load, compute)
+        self._remember(key, vc)
+        return vc
+
+    def get_or_scalar(self, name: str, graph: Graph, compute) -> float:
+        """Cached scalar graph statistic (imbalance, block counts, ...).
+
+        Keyed on ``(graph content, name, salt)`` and stored as a tiny
+        JSON file, so statistics that cost an O(E) pass are computed by
+        one process and read back by every other (sweep workers,
+        ``--jobs`` experiment runners, fresh CLI invocations).
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(graph.fingerprint().encode())
+        h.update(b"|")
+        h.update(name.encode())
+        h.update(b"|")
+        h.update(self.salt.encode())
+        key = "scalar-" + h.hexdigest()
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return hit
+        path = (None if self.directory is None
+                else self.directory / f"{key}.json")
+        if path is not None and path.exists():
+            try:
+                raw = path.read_text()
+                value = float(json.loads(raw)["value"])
+                self.stats.disk_hits += 1
+                self.stats.bytes_read += len(raw)
+                self._remember(key, value)
+                return value
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                self.stats.errors += 1
+        self.stats.misses += 1
+
+        def compute_and_store() -> float:
+            value = float(compute())
+            if path is None:
+                return value
+            payload = json.dumps(
+                {"name": name, "value": value, "salt": self.salt}
+            )
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    suffix=".json.tmp", dir=str(path.parent)
+                )
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+                self.stats.stores += 1
+                self.stats.bytes_written += len(payload)
+            except OSError:
+                self.stats.errors += 1
+            return value
+
+        def try_load():
+            if path is None or not path.exists():
+                return None
+            try:
+                return float(json.loads(path.read_text())["value"])
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                return None
+
+        value = self._singleflight(path, try_load, compute_and_store)
+        self._remember(key, value)
+        return value
+
+    def _remember(self, key: str, run) -> None:
+        self._memory[key] = run
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def _singleflight(self, path: Path | None, try_load, compute):
+        """Best-effort cross-process dedup of one cache fill.
+
+        Concurrent workers (``sweep(max_workers=...)``,
+        ``run_all(jobs=...)``) often miss on the same key at the same
+        moment.  The first claims ``<entry>.lock`` (``O_EXCL``); the
+        rest poll for the stored entry instead of redoing the
+        computation.  Strictly an optimisation: on timeout (stale lock,
+        dead peer) or any filesystem error the caller just computes.
+        """
+        if path is None:
+            return compute()
+        lock = Path(str(path) + ".lock")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            deadline = time.monotonic() + self.singleflight_timeout
+            while time.monotonic() < deadline:
+                time.sleep(0.02)
+                if path.exists():
+                    value = try_load()
+                    if value is not None:
+                        return value
+                if not lock.exists():
+                    break
+            return compute()
+        except OSError:
+            return compute()
+        try:
+            return compute()
+        finally:
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
+
+    # --- disk level ------------------------------------------------------
+
+    def _load(self, key: str) -> tuple[AlgorithmRun, dict] | None:
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(str(npz["meta"]))
+                values = npz["values"]
+                active = npz["active_sources"]
+            self.stats.bytes_read += path.stat().st_size
+            return AlgorithmRun(
+                algorithm=meta["algorithm"],
+                graph_name=meta["graph_name"],
+                values=values,
+                iterations=int(meta["iterations"]),
+                num_vertices=int(meta["num_vertices"]),
+                edges_per_iteration=int(meta["edges_per_iteration"]),
+                vertex_bits=int(meta["vertex_bits"]),
+                edge_bits=int(meta["edge_bits"]),
+                active_sources=tuple(int(a) for a in active),
+            ), meta
+        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            # A corrupt/truncated entry is treated as a miss and will be
+            # overwritten by the recomputed run.
+            self.stats.errors += 1
+            return None
+
+    def _store(
+        self, key: str, run: AlgorithmRun, extra: dict | None = None
+    ) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        record = {
+            "algorithm": run.algorithm,
+            "graph_name": run.graph_name,
+            "iterations": run.iterations,
+            "num_vertices": run.num_vertices,
+            "edges_per_iteration": run.edges_per_iteration,
+            "vertex_bits": run.vertex_bits,
+            "edge_bits": run.edge_bits,
+            "salt": self.salt,
+        }
+        if extra:
+            record.update(extra)
+        meta = json.dumps(record)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                suffix=".npz.tmp", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(
+                        fh,
+                        meta=np.asarray(meta),
+                        values=run.values,
+                        active_sources=np.asarray(
+                            run.active_sources, dtype=np.int64
+                        ),
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stats.stores += 1
+            self.stats.bytes_written += path.stat().st_size
+        except OSError:
+            # A read-only or full filesystem degrades to memory-only.
+            self.stats.errors += 1
+
+    # --- maintenance ------------------------------------------------------
+
+    def clear(self, disk: bool = True) -> int:
+        """Drop cached entries; returns the number of disk files removed."""
+        self._memory.clear()
+        removed = 0
+        if disk and self.directory is not None and self.directory.exists():
+            for pattern in ("*.npz", "scalar-*.json"):
+                for entry in self.directory.glob(pattern):
+                    try:
+                        entry.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def info(self) -> dict:
+        """Snapshot of the cache state (for ``repro cache info``)."""
+        files = 0
+        disk_bytes = 0
+        if self.directory is not None and self.directory.exists():
+            for pattern in ("*.npz", "scalar-*.json"):
+                for entry in self.directory.glob(pattern):
+                    try:
+                        disk_bytes += entry.stat().st_size
+                        files += 1
+                    except OSError:
+                        pass
+        return {
+            "directory": str(self.directory) if self.directory else None,
+            "salt": self.salt,
+            "disk_entries": files,
+            "disk_bytes": disk_bytes,
+            "memory_entries": len(self._memory),
+            "memory_limit": self.max_entries,
+            "stats": self.stats.to_dict(),
+        }
+
+
+# --- process-wide default ----------------------------------------------------
+
+_DEFAULT_CACHE: RunCache | None = None
+
+
+def get_run_cache() -> RunCache:
+    """The process-wide cache used by ``run_cached`` (created lazily)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = RunCache()
+    return _DEFAULT_CACHE
+
+
+def set_run_cache(cache: RunCache | None) -> None:
+    """Replace the process-wide cache (``None`` resets to lazy default)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache

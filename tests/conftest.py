@@ -2,6 +2,17 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
+# Hermetic run cache: point the persistent store at a per-session tmp
+# directory *before* repro imports, so tests neither read a developer's
+# warm ~/.cache/hyve-repro nor leave entries behind.  An explicitly
+# exported REPRO_CACHE_DIR wins (CI uses this to share a warm cache).
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-")
+)
+
 import numpy as np
 import pytest
 

@@ -145,3 +145,66 @@ class TestExperiment:
     def test_unknown_experiment_fails(self, capsys):
         assert main(["experiment", "fig99", "--no-save"]) == 2
         assert "unknown" in capsys.readouterr().err
+
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["experiment", "table3",
+                                          "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_experiment_with_jobs_matches_serial(self, capsys):
+        assert main(["experiment", "table3", "--no-save"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiment", "table3", "--no-save",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestCacheCommand:
+    def test_info_reports_store(self, capsys, tmp_path, monkeypatch):
+        from repro.perf.cache import RunCache, set_run_cache
+
+        set_run_cache(RunCache(directory=tmp_path / "store"))
+        try:
+            assert main(["run", "--dataset", "YT"]) == 0
+            capsys.readouterr()
+            assert main(["cache", "info"]) == 0
+            out = capsys.readouterr().out
+            assert str(tmp_path / "store") in out
+            assert "disk entries:" in out
+            assert "session stats:" in out
+        finally:
+            set_run_cache(None)
+
+    def test_clear_removes_entries(self, capsys, tmp_path):
+        from repro.perf.cache import RunCache, set_run_cache
+
+        set_run_cache(RunCache(directory=tmp_path / "store"))
+        try:
+            assert main(["run", "--dataset", "YT"]) == 0
+            capsys.readouterr()
+            assert main(["cache", "clear"]) == 0
+            out = capsys.readouterr().out
+            assert "removed" in out
+            assert "cached run(s)" in out
+            assert main(["cache", "info"]) == 0
+            assert "disk entries:   0" in capsys.readouterr().out
+        finally:
+            set_run_cache(None)
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "compact"])
+
+
+class TestVerboseStats:
+    def test_run_verbose_prints_cache_line(self, capsys):
+        assert main(["run", "--dataset", "YT", "--verbose"]) == 0
+        assert "[run cache]" in capsys.readouterr().out
+
+    def test_run_quiet_by_default(self, capsys):
+        assert main(["run", "--dataset", "YT"]) == 0
+        assert "[run cache]" not in capsys.readouterr().out
+
+    def test_compare_verbose_prints_cache_line(self, capsys):
+        assert main(["compare", "--dataset", "YT", "--verbose"]) == 0
+        assert "[run cache]" in capsys.readouterr().out

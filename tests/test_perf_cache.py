@@ -1,0 +1,240 @@
+"""Tests for the persistent content-addressed run cache.
+
+Covers the two-level (memory LRU + disk npz/json) store, key
+derivation from algorithm signatures, the scalar statistic store, and
+the cross-process single-flight protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, PageRank, SpMV
+from repro.graph import rmat
+from repro.perf.cache import RunCache, default_cache_dir
+
+
+@pytest.fixture
+def graph():
+    return rmat(128, 512, seed=21, name="cache-rmat")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(directory=tmp_path / "store")
+
+
+class TestDiskRoundTrip:
+    def test_values_bit_identical_after_reload(self, cache, graph):
+        first = cache.get_or_run(PageRank(), graph)
+        # Drop the memory level so the second lookup must hit disk.
+        cache.clear(disk=False)
+        second = cache.get_or_run(PageRank(), graph)
+        assert second is not first
+        np.testing.assert_array_equal(second.values, first.values)
+        assert second.values.dtype == first.values.dtype
+        assert second.iterations == first.iterations
+        assert second.active_sources == first.active_sources
+        assert second.edge_bits == first.edge_bits
+
+    def test_fresh_instance_hits_disk(self, tmp_path, graph):
+        """A new RunCache over the same directory (a fresh process in
+        disguise) serves the stored entry without re-converging."""
+        writer = RunCache(directory=tmp_path / "store")
+        stored = writer.get_or_run(BFS(0), graph)
+        reader = RunCache(directory=tmp_path / "store")
+        reloaded = reader.get_or_run(BFS(0), graph)
+        np.testing.assert_array_equal(reloaded.values, stored.values)
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.misses == 0
+
+    def test_memory_only_cache_never_writes(self, graph):
+        cache = RunCache(directory="")
+        cache.get_or_run(PageRank(), graph)
+        assert cache.directory is None
+        assert cache.stats.stores == 0
+        # Second lookup is a pure memory hit.
+        cache.get_or_run(PageRank(), graph)
+        assert cache.stats.memory_hits == 1
+
+
+class TestStats:
+    def test_counter_progression(self, cache, graph):
+        cache.get_or_run(PageRank(), graph)
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        cache.get_or_run(PageRank(), graph)
+        assert cache.stats.memory_hits == 1
+        cache.clear(disk=False)
+        cache.get_or_run(PageRank(), graph)
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.lookups == 3
+
+    def test_summary_mentions_counts(self, cache, graph):
+        cache.get_or_run(PageRank(), graph)
+        text = cache.stats.summary()
+        assert "miss" in text.lower()
+
+    def test_info_reports_disk_entries(self, cache, graph):
+        cache.get_or_run(PageRank(), graph)
+        info = cache.info()
+        assert info["disk_entries"] == 1
+        assert info["disk_bytes"] > 0
+
+
+class TestClear:
+    def test_clear_counts_disk_entries(self, cache, graph):
+        cache.get_or_run(PageRank(), graph)
+        cache.get_or_run(BFS(0), graph)
+        cache.get_or_scalar("stat", graph, lambda: 3.5)
+        removed = cache.clear(disk=True)
+        assert removed == 3
+        assert cache.info()["disk_entries"] == 0
+        # Everything recomputes after a full clear.
+        cache.get_or_run(PageRank(), graph)
+        assert cache.stats.misses == 4
+
+    def test_clear_memory_only_keeps_disk(self, cache, graph):
+        cache.get_or_run(PageRank(), graph)
+        removed = cache.clear(disk=False)
+        assert removed == 0
+        assert cache.info()["disk_entries"] == 1
+
+
+class TestKeying:
+    def test_salt_separates_entries(self, tmp_path, graph):
+        a = RunCache(directory=tmp_path / "store", salt="v1")
+        b = RunCache(directory=tmp_path / "store", salt="v2")
+        assert a.key(PageRank(), graph) != b.key(PageRank(), graph)
+        a.get_or_run(PageRank(), graph)
+        b.get_or_run(PageRank(), graph)
+        assert b.stats.misses == 1  # v2 cannot see v1's entry
+
+    def test_kind_separates_execution_models(self, cache, graph):
+        assert (cache.key(PageRank(), graph, kind="edge")
+                != cache.key(PageRank(), graph, kind="vertex"))
+
+    def test_lru_bound_respected(self, tmp_path, graph):
+        cache = RunCache(directory=tmp_path / "store", max_entries=2)
+        cache.get_or_run(BFS(0), graph)
+        cache.get_or_run(BFS(1), graph)
+        cache.get_or_run(BFS(2), graph)
+        assert len(cache._memory) == 2
+        # The evicted root-0 run comes back from disk, not reconverged.
+        cache.get_or_run(BFS(0), graph)
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.misses == 3
+
+
+class TestSignatureRegression:
+    """The signature derives from instance state, so differently
+    parameterised algorithms cannot silently collide (the old
+    hardcoded-attribute-list bug)."""
+
+    def test_spmv_input_vectors_not_conflated(self, cache, graph):
+        x1 = np.linspace(0.0, 1.0, graph.num_vertices)
+        x2 = np.linspace(1.0, 2.0, graph.num_vertices)
+        assert SpMV(x1).signature() != SpMV(x2).signature()
+        r1 = cache.get_or_run(SpMV(x1), graph)
+        r2 = cache.get_or_run(SpMV(x2), graph)
+        assert not np.array_equal(r1.values, r2.values)
+
+    def test_signature_stable_across_instances_and_runs(self, graph):
+        before = PageRank().signature()
+        pr = PageRank()
+        from repro.algorithms import run_vectorized
+
+        run_vectorized(pr, graph)
+        # The per-run derived state (_out_degrees) is transient: the
+        # signature must not change once the algorithm has executed.
+        assert pr.signature() == before
+
+    def test_every_constructor_parameter_participates(self):
+        assert PageRank(damping=0.9).signature() != PageRank().signature()
+        assert (PageRank(tolerance=1e-3).signature()
+                != PageRank().signature())
+        assert PageRank(iterations=3).signature() != PageRank().signature()
+
+
+class TestScalarStore:
+    def test_round_trip_and_memoisation(self, cache, graph):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7.25
+
+        assert cache.get_or_scalar("stat", graph, compute) == 7.25
+        assert cache.get_or_scalar("stat", graph, compute) == 7.25
+        assert len(calls) == 1
+
+    def test_fresh_instance_reads_stored_scalar(self, tmp_path, graph):
+        writer = RunCache(directory=tmp_path / "store")
+        writer.get_or_scalar("stat", graph, lambda: 2.5)
+        reader = RunCache(directory=tmp_path / "store")
+
+        def explode():
+            raise AssertionError("should have been served from disk")
+
+        assert reader.get_or_scalar("stat", graph, explode) == 2.5
+        assert reader.stats.disk_hits == 1
+
+    def test_names_not_conflated(self, cache, graph):
+        assert cache.get_or_scalar("a", graph, lambda: 1.0) == 1.0
+        assert cache.get_or_scalar("b", graph, lambda: 2.0) == 2.0
+
+
+class TestVertexCentricEntries:
+    def test_round_trip_preserves_extra_counters(self, cache, graph):
+        first = cache.get_or_run_vertex_centric(BFS(0), graph)
+        cache.clear(disk=False)
+        second = cache.get_or_run_vertex_centric(BFS(0), graph)
+        np.testing.assert_array_equal(second.run.values, first.run.values)
+        assert second.edges_examined == first.edges_examined
+        assert second.vertices_scanned == first.vertices_scanned
+
+    def test_distinct_from_edge_centric_entry(self, cache, graph):
+        cache.get_or_run(BFS(0), graph)
+        cache.get_or_run_vertex_centric(BFS(0), graph)
+        assert cache.info()["disk_entries"] == 2
+
+
+class TestSingleFlight:
+    def test_stale_lock_falls_back_to_compute(self, cache, graph):
+        """A lock file left by a crashed peer must not wedge the cache:
+        after the timeout the caller computes anyway."""
+        cache.singleflight_timeout = 0.05
+        key = cache.key(PageRank(), graph)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stale = path.with_name(path.name + ".lock")
+        stale.touch()
+        run = cache.get_or_run(PageRank(), graph)
+        assert run.iterations > 0
+
+    def test_waiter_adopts_peer_result(self, cache, graph):
+        """If the stored entry appears while waiting on the lock, the
+        waiter loads it instead of recomputing."""
+        # Pre-store the entry with a throwaway cache, then hold a lock.
+        peer = RunCache(directory=cache.directory, salt=cache.salt)
+        stored = peer.get_or_run(PageRank(), graph)
+        key = cache.key(PageRank(), graph)
+        path = cache._path(key)
+        lock = path.with_name(path.name + ".lock")
+        lock.touch()
+        try:
+            run = cache.get_or_run(PageRank(), graph)
+        finally:
+            lock.unlink()
+        np.testing.assert_array_equal(run.values, stored.values)
+
+
+class TestDefaultDirectory:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "hyve-repro"

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Timing harness CLI: record experiment wall-clock into BENCH_*.json.
+
+Two modes:
+
+* default — time experiment drivers in-process (optionally fanned out
+  with ``--jobs``) via :func:`repro.perf.bench.bench_experiments` and
+  write the payload::
+
+      PYTHONPATH=src python tools/bench.py --output BENCH_2.json
+      PYTHONPATH=src python tools/bench.py --jobs 4
+
+* ``--smoke`` — the CI regression check: run one experiment twice in
+  fresh subprocesses sharing a fresh run-cache directory, and fail
+  (exit 1) unless the cache-warm second run is measurably faster than
+  the cache-cold first run.  The measured times are written to
+  ``--output`` as well, so CI can upload them as an artifact::
+
+      python tools/bench.py --smoke --output BENCH_2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import bench_experiments, write_bench
+
+    payload = bench_experiments(args.experiments or None, jobs=args.jobs)
+    if args.baseline_total_s is not None:
+        payload["baseline"] = {
+            "total_s": args.baseline_total_s,
+            "note": args.baseline_note,
+            "speedup": args.baseline_total_s / payload["total_s"],
+        }
+    path = write_bench(payload, args.output)
+    print(f"wrote {path}: {len(payload['experiments'])} experiment(s), "
+          f"total {payload['total_s']:.2f}s, jobs={args.jobs}")
+    return 0
+
+
+def _timed_subprocess(experiment: str, env: dict) -> float:
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-c",
+         "from repro.experiments import ALL_EXPERIMENTS; "
+         f"ALL_EXPERIMENTS[{experiment!r}]()"],
+        env=env, check=True, cwd=REPO_ROOT,
+    )
+    return time.perf_counter() - start
+
+
+def run_smoke(args: argparse.Namespace) -> int:
+    from repro.perf.bench import BENCH_SCHEMA, write_bench
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-smoke-")
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+
+    experiment = args.experiments[0] if args.experiments else "headline"
+    cold = _timed_subprocess(experiment, env)
+    warm = _timed_subprocess(experiment, env)
+    speedup = cold / warm if warm > 0 else float("inf")
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "mode": "smoke",
+        "experiment": experiment,
+        "cold_s": cold,
+        "warm_s": warm,
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+    }
+    path = write_bench(payload, args.output)
+    print(f"smoke [{experiment}]: cold {cold:.2f}s, warm {warm:.2f}s, "
+          f"speedup {speedup:.2f}x (need >= {args.min_speedup:.2f}x); "
+          f"wrote {path}")
+    if speedup < args.min_speedup:
+        print("FAIL: cache-warm run was not measurably faster",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--experiments", nargs="*", metavar="NAME",
+                        help="experiment ids (default: all; in --smoke "
+                             "mode only the first is used, default "
+                             "'headline')")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--output", default="BENCH.json",
+                        help="payload path (default BENCH.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="cold-vs-warm cache regression check")
+    parser.add_argument("--min-speedup", type=float, default=1.05,
+                        help="--smoke: minimum cold/warm ratio "
+                             "(default 1.05)")
+    parser.add_argument("--baseline-total-s", type=float, default=None,
+                        help="record a reference total (e.g. the "
+                             "pre-optimization serial wall-clock) in "
+                             "the payload")
+    parser.add_argument("--baseline-note", default="",
+                        help="annotation for --baseline-total-s")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args)
+    return run_bench(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
