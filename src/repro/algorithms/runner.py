@@ -26,6 +26,8 @@ import numpy as np
 from ..errors import ConvergenceError
 from ..graph.graph import Graph
 from ..graph.partition import IntervalBlockPartition
+from ..obs import metrics as obs_metrics
+from ..obs.trace import get_tracer
 from .base import EdgeCentricAlgorithm
 
 
@@ -67,27 +69,45 @@ def run_vectorized(
     algorithm: EdgeCentricAlgorithm, graph: Graph
 ) -> AlgorithmRun:
     """Execute with one whole-graph edge pass per iteration."""
-    streamed = algorithm.transform_graph(graph)
+    tracer = get_tracer()
+    with tracer.span("preprocess", executor="vectorized", graph=graph.name):
+        streamed = algorithm.transform_graph(graph)
     values = algorithm.initial_values(streamed)
     active = algorithm.initial_active(streamed)
     active_sources: list[int] = []
     iterations = 0
-    while True:
-        active_sources.append(active)
-        acc = algorithm.iteration_start(values, streamed)
-        algorithm.process_edges(
-            values, acc, streamed.src, streamed.dst, streamed.weights, streamed
-        )
-        result = algorithm.iteration_end(values, acc, streamed, iterations)
-        values = result.values
-        active = result.active_vertices
-        iterations += 1
-        if result.converged:
-            break
-        if iterations > algorithm.max_iterations:
-            raise ConvergenceError(
-                f"{algorithm.name} exceeded {algorithm.max_iterations} sweeps"
+    with tracer.span(
+        "converge",
+        executor="vectorized",
+        algorithm=algorithm.name,
+        graph=streamed.name,
+    ):
+        while True:
+            active_sources.append(active)
+            acc = algorithm.iteration_start(values, streamed)
+            algorithm.process_edges(
+                values, acc, streamed.src, streamed.dst, streamed.weights,
+                streamed,
             )
+            with tracer.span("apply", iteration=iterations):
+                result = algorithm.iteration_end(
+                    values, acc, streamed, iterations
+                )
+            values = result.values
+            active = result.active_vertices
+            iterations += 1
+            if result.converged:
+                break
+            if iterations > algorithm.max_iterations:
+                raise ConvergenceError(
+                    f"{algorithm.name} exceeded "
+                    f"{algorithm.max_iterations} sweeps"
+                )
+    metrics = obs_metrics.get_metrics()
+    metrics.counter(obs_metrics.EXECUTOR_EDGES).add(
+        iterations * streamed.num_edges
+    )
+    metrics.histogram(obs_metrics.CONVERGENCE_ITERATIONS).observe(iterations)
     return AlgorithmRun(
         algorithm=algorithm.name,
         graph_name=streamed.name,
@@ -123,11 +143,14 @@ def run_blocked(
     previous-iteration source values only, so any order within an
     iteration computes the same result as :func:`run_vectorized`.
     """
-    streamed = algorithm.transform_graph(graph)
-    partition = IntervalBlockPartition.cached(streamed, num_intervals)
-    q = num_intervals // num_pus
-    partition.num_super_blocks(num_pus)  # validates divisibility
-    bm_src, bm_dst, bm_weights = partition.streamed_edges
+    tracer = get_tracer()
+    with tracer.span("preprocess", executor="blocked", graph=graph.name,
+                     num_intervals=num_intervals):
+        streamed = algorithm.transform_graph(graph)
+        partition = IntervalBlockPartition.cached(streamed, num_intervals)
+        q = num_intervals // num_pus
+        partition.num_super_blocks(num_pus)  # validates divisibility
+        bm_src, bm_dst, bm_weights = partition.streamed_edges
 
     values = algorithm.initial_values(streamed)
     active = algorithm.initial_active(streamed)
@@ -136,23 +159,48 @@ def run_blocked(
     while True:
         active_sources.append(active)
         acc = algorithm.iteration_start(values, streamed)
+        traced = tracer.enabled
         for y in range(q):
             j_start = y * num_pus
             j_stop = j_start + num_pus
-            for x in range(q):
-                for i in range(x * num_pus, (x + 1) * num_pus):
-                    sel = partition.block_row_slice(i, j_start, j_stop)
-                    if sel.start == sel.stop:
-                        continue
-                    algorithm.process_edges(
-                        values,
-                        acc,
-                        bm_src[sel],
-                        bm_dst[sel],
-                        None if bm_weights is None else bm_weights[sel],
-                        streamed,
-                    )
-        result = algorithm.iteration_end(values, acc, streamed, iterations)
+            row_span = (
+                tracer.span("superblock_row", iteration=iterations, y=y)
+                if traced else None
+            )
+            if row_span is not None:
+                row_span.__enter__()
+            try:
+                for x in range(q):
+                    for i in range(x * num_pus, (x + 1) * num_pus):
+                        sel = partition.block_row_slice(i, j_start, j_stop)
+                        if sel.start == sel.stop:
+                            continue
+                        if traced:
+                            with tracer.span("block_dispatch", row=i,
+                                             j_start=j_start, j_stop=j_stop,
+                                             edges=sel.stop - sel.start):
+                                algorithm.process_edges(
+                                    values, acc, bm_src[sel], bm_dst[sel],
+                                    None if bm_weights is None
+                                    else bm_weights[sel],
+                                    streamed,
+                                )
+                        else:
+                            algorithm.process_edges(
+                                values,
+                                acc,
+                                bm_src[sel],
+                                bm_dst[sel],
+                                None if bm_weights is None
+                                else bm_weights[sel],
+                                streamed,
+                            )
+            finally:
+                if row_span is not None:
+                    row_span.__exit__(None, None, None)
+        with tracer.span("apply", iteration=iterations):
+            result = algorithm.iteration_end(values, acc, streamed,
+                                             iterations)
         values = result.values
         active = result.active_vertices
         iterations += 1
@@ -162,6 +210,11 @@ def run_blocked(
             raise ConvergenceError(
                 f"{algorithm.name} exceeded {algorithm.max_iterations} sweeps"
             )
+    metrics = obs_metrics.get_metrics()
+    metrics.counter(obs_metrics.EXECUTOR_EDGES).add(
+        iterations * streamed.num_edges
+    )
+    metrics.histogram(obs_metrics.CONVERGENCE_ITERATIONS).observe(iterations)
     return AlgorithmRun(
         algorithm=algorithm.name,
         graph_name=streamed.name,

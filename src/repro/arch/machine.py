@@ -37,6 +37,8 @@ from ..memory.ecc import SECDEDDevice, secded_factor, secded_logic_energy
 from ..memory.powergate import BankPowerGating, GatingReport
 from ..memory.reram import ReRAMChip
 from ..memory.sram import OnChipSRAM
+from ..obs import metrics as obs_metrics
+from ..obs.trace import get_tracer
 from . import params, report as rpt
 from .config import HyVEConfig, MemoryTechnology, Workload
 from .processing_unit import ProcessingUnitModel
@@ -132,9 +134,19 @@ class AcceleratorMachine:
         """Execute ``algorithm`` and model the machine's time and energy."""
         if isinstance(workload, Graph):
             workload = Workload(workload)
-        run = run_cached(algorithm, workload.graph)
-        counts = ScheduleCounts.compute(run, workload, self.config)
-        report, fault_report = self._fold(run, counts, workload)
+        tracer = get_tracer()
+        with tracer.span(
+            "machine.run",
+            machine=self.config.label,
+            algorithm=algorithm.name,
+            graph=workload.name,
+        ):
+            with tracer.span("algorithm.converge", algorithm=algorithm.name):
+                run = run_cached(algorithm, workload.graph)
+            with tracer.span("schedule.counts"):
+                counts = ScheduleCounts.compute(run, workload, self.config)
+            with tracer.span("fold"):
+                report, fault_report = self._fold(run, counts, workload)
         return SimulationResult(report=report, run=run, faults=fault_report)
 
     def run_counts(
@@ -505,6 +517,42 @@ class AcceleratorMachine:
             fault_report.transient_flips_corrected = flips
             fault_report.transient_flips_uncorrectable = uncorrectable
             fault_report.add_energy(resil_energy)
+
+        # --- observability ---------------------------------------------------
+        metrics = obs_metrics.get_metrics()
+        metrics.counter(obs_metrics.EDGES_STREAMED).add(counts.edges_total)
+        metrics.counter(obs_metrics.BPG_BANK_WAKES).add(gating.transitions)
+        metrics.counter(obs_metrics.ROUTER_ROTATIONS).add(
+            counts.reroute_events
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The processing phase is the max of three overlapped
+            # services; attribute it to whichever dominated, so phase
+            # times sum exactly to the report's modelled time.
+            from ..obs.attribution import emit_report
+
+            phase_times = {p: 0.0 for p in
+                           ("stream", "process", "schedule", "gating")}
+            if t_stream >= t_proc and t_stream >= t_random_vertex:
+                phase_times["stream"] += t_stream
+            elif t_proc >= t_random_vertex:
+                phase_times["process"] += t_proc
+            else:
+                phase_times["schedule"] += t_random_vertex
+            phase_times["process"] += t_step_overheads
+            phase_times["schedule"] += t_schedule
+            phase_times["gating"] += gating.overhead_time
+            emit_report(
+                tracer, report, phase_times,
+                detail={
+                    "t_stream": t_stream,
+                    "t_compute": t_proc,
+                    "t_random_vertex": t_random_vertex,
+                    "t_step_overheads": t_step_overheads,
+                    "bank_wake_transitions": gating.transitions,
+                },
+            )
         return report, fault_report
 
 

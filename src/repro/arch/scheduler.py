@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..algorithms.runner import AlgorithmRun
 from ..errors import ConfigError
 from ..graph.hash_partition import hash_partition, imbalance
+from ..obs.trace import get_tracer
 from .config import HyVEConfig, Workload, choose_num_intervals
 
 #: Partition size used to estimate PU load imbalance.  The exact P of a
@@ -56,22 +57,10 @@ def estimate_imbalance(run: AlgorithmRun, workload: Workload,
         # The streamed graph may differ (CC symmetrises); imbalance of
         # the base graph is an adequate proxy and avoids a second
         # partition.
-        p = num_pus * _IMBALANCE_REFERENCE_MULTIPLE
-        while p > max(graph.num_vertices, 1):
-            p //= 2
-        p = max(p - (p % num_pus), num_pus)
-        if p > graph.num_vertices:
-            return 1.0
-        if hash_placement:
-            part, _ = hash_partition(graph, p)
-            return imbalance(part, num_pus)
-        from ..graph.partition import IntervalBlockPartition
-
-        # Routed through the process-wide partition memo: the blocked
-        # executor or another experiment asking for the same
-        # (fingerprint, P) reuses this build.
-        part = IntervalBlockPartition.cached(graph, p)
-        return imbalance(part, num_pus)
+        with get_tracer().span("estimate_imbalance", graph=graph.name,
+                               num_pus=num_pus,
+                               hash_placement=hash_placement):
+            return _compute_imbalance(graph, num_pus, hash_placement)
 
     from ..perf.cache import get_run_cache
 
@@ -80,6 +69,25 @@ def estimate_imbalance(run: AlgorithmRun, workload: Workload,
     )
     _IMBALANCE_CACHE[key] = value
     return value
+
+
+def _compute_imbalance(graph, num_pus: int, hash_placement: bool) -> float:
+    p = num_pus * _IMBALANCE_REFERENCE_MULTIPLE
+    while p > max(graph.num_vertices, 1):
+        p //= 2
+    p = max(p - (p % num_pus), num_pus)
+    if p > graph.num_vertices:
+        return 1.0
+    if hash_placement:
+        part, _ = hash_partition(graph, p)
+        return imbalance(part, num_pus)
+    from ..graph.partition import IntervalBlockPartition
+
+    # Routed through the process-wide partition memo: the blocked
+    # executor or another experiment asking for the same
+    # (fingerprint, P) reuses this build.
+    part = IntervalBlockPartition.cached(graph, p)
+    return imbalance(part, num_pus)
 
 
 @dataclass(frozen=True)

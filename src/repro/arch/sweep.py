@@ -29,6 +29,8 @@ from typing import Any, Callable, Sequence
 from ..algorithms.base import EdgeCentricAlgorithm
 from ..errors import ConfigError, SweepPointError
 from ..graph.graph import Graph
+from ..obs import metrics as obs_metrics
+from ..obs.trace import get_tracer
 from .config import HyVEConfig, Workload
 from .machine import AcceleratorMachine
 from .report import EnergyReport
@@ -115,6 +117,19 @@ class SweepPoint:
             )
         return self.report.mteps_per_watt
 
+    @property
+    def metrics(self) -> dict:
+        """Deterministic per-point metrics (CSV / checkpoint columns).
+
+        Derived from the evaluated report, never from process state, so
+        a parallel sweep renders byte-identically to a serial one.
+        """
+        out = {"retries": max(self.attempts - 1, 0)}
+        if self.report is not None:
+            out["iterations"] = self.report.iterations
+            out["edges_streamed"] = self.report.edges_traversed
+        return out
+
 
 def _point_key(field: str, value: Any) -> str:
     return f"{field}={value!r}"
@@ -192,17 +207,21 @@ def _evaluate_point(
     """Retry loop around one point: (report, error, attempts spent)."""
     last_error: BaseException | None = None
     attempts = 0
+    tracer = get_tracer()
     for attempt in range(policy.retries + 1):
-        if attempt > 0 and policy.backoff > 0:
-            time.sleep(policy.backoff * 2 ** (attempt - 1))
+        if attempt > 0:
+            obs_metrics.get_metrics().counter(
+                obs_metrics.SWEEP_POINT_RETRIES
+            ).add()
+            if policy.backoff > 0:
+                time.sleep(policy.backoff * 2 ** (attempt - 1))
         attempts += 1
         try:
-            return (
-                _evaluate_once(config, algorithm_factory, workload,
-                               faults, policy.timeout),
-                None,
-                attempts,
-            )
+            with tracer.span("sweep_point", label=config.label,
+                             attempt=attempts):
+                report = _evaluate_once(config, algorithm_factory,
+                                        workload, faults, policy.timeout)
+            return report, None, attempts
         except Exception as exc:  # isolated per point by design
             last_error = exc
     message = f"{type(last_error).__name__}: {last_error}"
@@ -280,6 +299,7 @@ def sweep(
                 _append_checkpoint(checkpoint_path, {
                     "key": key, "field": field, "value_repr": repr(value),
                     "report": None, "error": error, "attempts": 0,
+                    "metrics": {"retries": 0},
                 })
             continue
         cached = checkpoint.get(key)
@@ -346,6 +366,7 @@ def sweep(
                 "report": report.to_dict() if report else None,
                 "error": error,
                 "attempts": attempts,
+                "metrics": point.metrics,
             })
     return points
 
@@ -364,20 +385,25 @@ def points_to_csv(points: list[SweepPoint]) -> str:
     writer = csv.writer(buffer)
     writer.writerow([
         "field", "value", "label", "energy_j", "time_s",
-        "mteps_per_watt", "attempts", "error",
+        "mteps_per_watt", "iterations", "edges_streamed", "retries",
+        "attempts", "error",
     ])
     for point in points:
+        m = point.metrics
         if point.report is None:
             writer.writerow([
                 point.field, repr(point.value),
                 point.config.label if point.config else "",
-                "", "", "", point.attempts, point.error or "",
+                "", "", "", "", "", m["retries"],
+                point.attempts, point.error or "",
             ])
         else:
             writer.writerow([
                 point.field, repr(point.value), point.config.label,
                 repr(point.report.total_energy), repr(point.report.time),
-                repr(point.report.mteps_per_watt), point.attempts, "",
+                repr(point.report.mteps_per_watt),
+                m["iterations"], repr(m["edges_streamed"]), m["retries"],
+                point.attempts, "",
             ])
     return buffer.getvalue()
 

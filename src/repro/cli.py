@@ -10,6 +10,12 @@ Commands:
   (``--jobs N`` fans the drivers out over worker processes).
 * ``cache`` — inspect (``cache info``) or wipe (``cache clear``) the
   persistent run cache that skips re-running converged algorithms.
+* ``trace`` — run one experiment with span tracing enabled, write the
+  JSONL trace, and print its per-phase time/energy attribution.
+* ``metrics`` — run one simulation and print the metrics registry.
+
+``run``, ``compare`` and ``experiment`` also accept ``--trace-out PATH``
+to record a trace of whatever they execute (see docs/observability.md).
 
 Examples::
 
@@ -21,6 +27,8 @@ Examples::
     python -m repro experiment fig16 fig21
     python -m repro experiment --jobs 4
     python -m repro cache info
+    python -m repro trace headline --trace-out trace.jsonl
+    python -m repro metrics --algorithm pr --dataset YT --json
 
 Operator errors (unknown names, unreadable graph files, malformed edge
 lists) print one ``error:`` line on stderr and exit with status 2.
@@ -29,6 +37,7 @@ lists) print one ``error:`` line on stderr and exit with status 2.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 
@@ -98,12 +107,36 @@ def _print_cache_stats() -> None:
     print(f"[run cache] {get_run_cache().stats.summary()}")
 
 
+@contextlib.contextmanager
+def _tracing(path: str | None):
+    """Record a trace to ``path`` for the duration; no-op when None.
+
+    The completion note goes to stderr so machine-readable stdout
+    (``--json``, CSV redirects) stays clean.
+    """
+    if not path:
+        yield None
+        return
+    from .obs.trace import get_tracer
+
+    tracer = get_tracer()
+    tracer.start(path)
+    try:
+        yield tracer
+    finally:
+        records = tracer.records_written
+        tracer.stop()
+        print(f"[trace written to {path} ({records} records)]",
+              file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     workload = load_workload(args)
     faults = load_faults(args)
     machine = build_machine(args.machine, faults=faults)
     algorithm = make_algorithm(args.algorithm)
-    result = machine.run(algorithm, workload)
+    with _tracing(args.trace_out):
+        result = machine.run(algorithm, workload)
     if args.json:
         payload = result.report.to_dict()
         if result.faults is not None:
@@ -125,11 +158,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = load_workload(args)
     faults = load_faults(args)
     rows = []
-    for name in MACHINE_NAMES:
-        machine = build_machine(name, faults=faults)
-        report = machine.run(make_algorithm(args.algorithm), workload).report
-        rows.append((name, report.mteps_per_watt, report.total_energy,
-                     report.time))
+    with _tracing(args.trace_out):
+        for name in MACHINE_NAMES:
+            machine = build_machine(name, faults=faults)
+            report = machine.run(make_algorithm(args.algorithm),
+                                 workload).report
+            rows.append((name, report.mteps_per_watt, report.total_energy,
+                         report.time))
     rows.sort(key=lambda r: -r[1])
     print(f"{'machine':16s} {'MTEPS/W':>10s} {'energy (mJ)':>12s} "
           f"{'time (ms)':>10s}")
@@ -150,7 +185,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
-    results = run_selected(names, save=False, jobs=args.jobs)
+    if args.trace_out and args.jobs > 1:
+        print("error: --trace-out requires serial execution (--jobs 1); "
+              "worker processes cannot share one trace stream",
+              file=sys.stderr)
+        return 2
+    with _tracing(args.trace_out):
+        results = run_selected(names, save=False, jobs=args.jobs)
     for name in names:
         result = results[name]
         print(result.format())
@@ -159,6 +200,52 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             result.save_csv()
             print(f"[saved to {path}]")
         print()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments import ALL_EXPERIMENTS, run_selected
+
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment: {args.experiment} "
+              f"(choose from {', '.join(ALL_EXPERIMENTS)})",
+              file=sys.stderr)
+        return 2
+    with _tracing(args.trace_out):
+        results = run_selected([args.experiment], save=False, jobs=1)
+    if not args.quiet:
+        print(results[args.experiment].format())
+        print()
+    from .obs import AttributionError, fold_records, format_attribution
+    from .obs.trace import read_trace
+
+    attribution = fold_records(read_trace(args.trace_out))
+    try:
+        print(format_attribution(attribution))
+    except AttributionError:
+        # Experiments over non-accelerator machines only carry spans,
+        # not attribution events; the trace file is still valid.
+        print(f"({attribution.span_count} spans, "
+              f"{attribution.event_count} events; no accelerator report "
+              f"events to attribute)")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import get_metrics
+
+    workload = load_workload(args)
+    faults = load_faults(args)
+    machine = build_machine(args.machine, faults=faults)
+    algorithm = make_algorithm(args.algorithm)
+    registry = get_metrics()
+    registry.reset()
+    with _tracing(args.trace_out):
+        machine.run(algorithm, workload)
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2))
+    else:
+        print(registry.format())
     return 0
 
 
@@ -203,8 +290,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injection seed (same seed + profile "
                             "=> identical injected faults)")
 
+    def add_trace_arg(p: argparse.ArgumentParser,
+                      default: str | None = None) -> None:
+        p.add_argument("--trace-out", metavar="PATH", default=default,
+                       help="record a JSONL span trace of the execution "
+                            "to PATH (see docs/observability.md)"
+                            + (f" (default {default})" if default else ""))
+
     run = sub.add_parser("run", help="simulate one machine")
     add_workload_args(run)
+    add_trace_arg(run)
     run.add_argument("--machine", choices=MACHINE_NAMES,
                      default="acc+HyVE-opt")
     run.add_argument("--json", action="store_true",
@@ -214,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="rank every machine")
     add_workload_args(compare)
+    add_trace_arg(compare)
     compare.add_argument("--verbose", action="store_true",
                          help="print run-cache statistics after the "
                               "ranking")
@@ -227,6 +323,27 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="run drivers over N worker processes "
                           "(default 1: serial)")
+    add_trace_arg(exp)
+
+    trace = sub.add_parser("trace",
+                           help="run one experiment with tracing on and "
+                                "print its per-phase attribution")
+    trace.add_argument("experiment",
+                       help="experiment id (see `repro info`)")
+    add_trace_arg(trace, default="trace.jsonl")
+    trace.add_argument("--quiet", action="store_true",
+                       help="skip the experiment table; print only the "
+                            "attribution")
+
+    metrics = sub.add_parser("metrics",
+                             help="run one simulation and print the "
+                                  "metrics registry")
+    add_workload_args(metrics)
+    add_trace_arg(metrics)
+    metrics.add_argument("--machine", choices=MACHINE_NAMES,
+                         default="acc+HyVE-opt")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the snapshot as JSON")
 
     cache = sub.add_parser("cache",
                            help="inspect or clear the persistent run "
@@ -245,6 +362,8 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "experiment": cmd_experiment,
         "cache": cmd_cache,
+        "trace": cmd_trace,
+        "metrics": cmd_metrics,
     }
     try:
         return handlers[args.command](args)

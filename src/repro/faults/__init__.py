@@ -6,6 +6,16 @@ endurance, write variability, whole-bank failures — and transient vertex
 path upsets are paid for?"  Everything is deterministic and seedable,
 and an all-zero profile is a guaranteed pass-through (bit-identical
 reports).
+
+Entry points: named profiles in :data:`FAULT_PROFILES`
+(``none``/``mild``/``harsh``/``worn``), built with
+:func:`make_profile` and threaded into any accelerator via
+``AcceleratorMachine(config, faults=profile)`` — or from the CLI with
+``repro run --faults harsh --seed 7``.  The run's
+:class:`~repro.arch.machine.SimulationResult` then carries a
+:class:`FaultReport` tallying what was injected, corrected and paid
+for.  The subsystem is documented in docs/api.md (API surface) and
+docs/architecture.md (mechanisms and costs).
 """
 
 from ..memory.ecc import (

@@ -16,6 +16,8 @@ import numpy as np
 from ..errors import ConfigError
 from ..graph.graph import VERTEX_ID_BITS
 from ..graph.partition import IntervalBlockPartition
+from ..obs import metrics as obs_metrics
+from ..obs.trace import get_tracer
 
 #: Words of metadata that prefix a serialised block: source interval
 #: index, destination interval index, edge count (Section 3.4).
@@ -179,6 +181,7 @@ class HybridMemoryController:
         for i in intervals:
             self.map.interval_extent(i)  # validates
         self._resident_src = set(intervals)
+        self._observe_fetch("source", fetched)
         return fetched
 
     def load_destination_intervals(self, intervals: list[int]) -> list[int]:
@@ -186,7 +189,18 @@ class HybridMemoryController:
         for i in intervals:
             self.map.interval_extent(i)
         self._resident_dst = set(intervals)
+        self._observe_fetch("destination", fetched)
         return fetched
+
+    def _observe_fetch(self, role: str, fetched: list[int]) -> None:
+        if fetched:
+            obs_metrics.get_metrics().counter(
+                obs_metrics.INTERVAL_FETCHES
+            ).add(len(fetched))
+        tracer = get_tracer()
+        if tracer.enabled and fetched:
+            tracer.event("interval_fetch", role=role, count=len(fetched),
+                         intervals=fetched)
 
     def needs_scheduling(self, block: tuple[int, int]) -> bool:
         """True if streaming ``block`` requires replacing an interval."""

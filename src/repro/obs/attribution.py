@@ -1,0 +1,197 @@
+"""Phase attribution: fold a trace into per-phase time/energy tables.
+
+The machine model composes execution time from a handful of named
+quantities (edge stream vs compute vs random vertex service, interval
+scheduling, gating transitions) and tallies energy per component.  This
+module fixes the mapping from those quantities onto a small, stable
+*phase taxonomy*, emits them into a trace as ``phase_time`` /
+``energy`` / ``report`` events, and folds a recorded trace back into
+the attribution table ``tools/trace_report.py`` prints.
+
+The invariant the acceptance tests rely on: the folded totals equal the
+sum of the run's :class:`~repro.arch.report.EnergyReport` totals
+exactly, because both are emitted from the same numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch import report as rpt
+from ..errors import ReproError
+
+#: The attribution phases, in presentation order.
+PHASES = (
+    "preprocess",   # partitioning, schedule counting (host-side)
+    "stream",       # edge-memory sequential streaming
+    "process",      # PU compute, scratchpad traffic, router, controller
+    "schedule",     # off-chip vertex interval loads/stores
+    "gating",       # bank power-gating wake transitions
+    "background",   # standby/leakage energy integrated over the run
+)
+
+#: Energy component → phase (every :data:`repro.arch.report.ALL_COMPONENTS`
+#: key must appear here; a test enforces it).
+COMPONENT_PHASE = {
+    rpt.EDGE_MEMORY: "stream",
+    rpt.OFFCHIP_VERTEX: "schedule",
+    rpt.ONCHIP_VERTEX: "process",
+    rpt.PROCESSING: "process",
+    rpt.ROUTER: "process",
+    rpt.CONTROLLER: "process",
+    rpt.EDGE_MEMORY_BG: "background",
+    rpt.OFFCHIP_VERTEX_BG: "background",
+    rpt.ONCHIP_VERTEX_BG: "background",
+    rpt.LOGIC_BG: "background",
+}
+
+
+class AttributionError(ReproError):
+    """A trace cannot be folded (no report events, unknown phase...)."""
+
+
+def emit_report(tracer, report, phase_times: dict[str, float],
+                detail: dict[str, float] | None = None) -> None:
+    """Write one simulation's attribution events into ``tracer``.
+
+    ``phase_times`` maps phase name → seconds and must sum to the
+    report's modelled time (the machine passes its own composition).
+    ``detail`` carries informational sub-quantities (e.g. the raw
+    stream/compute/random times whose max forms the processing phase);
+    they are recorded but never counted into totals.
+    """
+    for phase, seconds in phase_times.items():
+        if phase not in PHASES:
+            raise AttributionError(f"unknown phase {phase!r}")
+        tracer.event("phase_time", phase=phase, seconds=seconds)
+    for component, joules in report.energy.items():
+        tracer.event(
+            "energy",
+            component=component,
+            phase=COMPONENT_PHASE[component],
+            joules=joules,
+        )
+    if detail:
+        tracer.event("phase_detail", **detail)
+    tracer.event(
+        "report",
+        machine=report.machine,
+        algorithm=report.algorithm,
+        graph=report.graph,
+        time_s=report.time,
+        total_energy_j=report.total_energy,
+        mteps_per_watt=report.mteps_per_watt,
+    )
+
+
+@dataclass
+class Attribution:
+    """Folded per-phase totals of one trace (possibly many reports)."""
+
+    time_s: dict[str, float] = field(
+        default_factory=lambda: {p: 0.0 for p in PHASES}
+    )
+    energy_j: dict[str, float] = field(
+        default_factory=lambda: {p: 0.0 for p in PHASES}
+    )
+    reports: list[dict] = field(default_factory=list)
+    span_count: int = 0
+    event_count: int = 0
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(self.time_s.values())
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self.energy_j.values())
+
+    @property
+    def reported_time_s(self) -> float:
+        return sum(r["time_s"] for r in self.reports)
+
+    @property
+    def reported_energy_j(self) -> float:
+        return sum(r["total_energy_j"] for r in self.reports)
+
+
+def fold_records(records: list[dict]) -> Attribution:
+    """Fold validated trace records into per-phase time/energy totals."""
+    out = Attribution()
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span":
+            out.span_count += 1
+            continue
+        if kind != "event":
+            continue
+        out.event_count += 1
+        name = record.get("name")
+        tags = record.get("tags", {})
+        if name == "phase_time":
+            phase = tags.get("phase")
+            if phase not in PHASES:
+                raise AttributionError(
+                    f"phase_time event names unknown phase {phase!r}"
+                )
+            out.time_s[phase] += float(tags.get("seconds", 0.0))
+        elif name == "energy":
+            phase = tags.get("phase")
+            if phase not in PHASES:
+                raise AttributionError(
+                    f"energy event names unknown phase {phase!r}"
+                )
+            out.energy_j[phase] += float(tags.get("joules", 0.0))
+        elif name == "report":
+            out.reports.append({
+                "machine": tags.get("machine", "?"),
+                "algorithm": tags.get("algorithm", "?"),
+                "graph": tags.get("graph", "?"),
+                "time_s": float(tags.get("time_s", 0.0)),
+                "total_energy_j": float(tags.get("total_energy_j", 0.0)),
+            })
+    return out
+
+
+def format_attribution(attribution: Attribution) -> str:
+    """Render the per-phase table (the ``trace_report`` output)."""
+    a = attribution
+    if not a.reports:
+        raise AttributionError(
+            "trace holds no report events — was it recorded with "
+            "tracing enabled around a machine run?"
+        )
+    t_total = a.total_time_s or 1.0
+    e_total = a.total_energy_j or 1.0
+    lines = [
+        f"{'phase':12s} {'time_s':>12s} {'time_%':>7s} "
+        f"{'energy_j':>12s} {'energy_%':>8s}",
+        "-" * 55,
+    ]
+    for phase in PHASES:
+        t = a.time_s[phase]
+        e = a.energy_j[phase]
+        lines.append(
+            f"{phase:12s} {t:12.6g} {100 * t / t_total:6.1f}% "
+            f"{e:12.6g} {100 * e / e_total:7.1f}%"
+        )
+    lines.append("-" * 55)
+    lines.append(
+        f"{'total':12s} {a.total_time_s:12.6g} {'100.0':>6s}% "
+        f"{a.total_energy_j:12.6g} {'100.0':>7s}%"
+    )
+    dt = _relative_delta(a.total_time_s, a.reported_time_s)
+    de = _relative_delta(a.total_energy_j, a.reported_energy_j)
+    lines.append("")
+    lines.append(
+        f"{len(a.reports)} report(s); EnergyReport totals: "
+        f"{a.reported_time_s:.6g} s / {a.reported_energy_j:.6g} J "
+        f"(fold delta {100 * dt:.2f}% time, {100 * de:.2f}% energy)"
+    )
+    return "\n".join(lines)
+
+
+def _relative_delta(folded: float, reported: float) -> float:
+    if reported == 0.0:
+        return 0.0 if folded == 0.0 else float("inf")
+    return abs(folded - reported) / abs(reported)

@@ -1,0 +1,234 @@
+"""Lightweight metrics registry: counters, gauges, histograms.
+
+Metrics answer "how much work happened" where spans answer "when".
+They are always on — every instrument is a couple of attribute
+operations under one registry lock, incremented at coarse points
+(per iteration, per sweep point, per cache lookup), never per edge —
+and are read back either programmatically (``snapshot()``), from the
+CLI (``repro metrics``), or merged across worker processes
+(``merge()``).
+
+The canonical instrument names the instrumentation hooks use are the
+module constants below; docs/observability.md is the registry of
+record for their meanings.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ReproError
+
+# --- canonical instrument names ----------------------------------------------
+
+#: Modelled edges streamed through the edge memory, at reported scale.
+EDGES_STREAMED = "edges_streamed"
+#: Edges actually processed by the executors (synthetic scale).
+EXECUTOR_EDGES = "executor_edges_processed"
+#: Bank-power-gating wake transitions planned by the BPG controller.
+BPG_BANK_WAKES = "bpg_bank_wakes"
+#: Router re-routing (rotation) events under data sharing.
+ROUTER_ROTATIONS = "router_rotations"
+#: Run-cache hits (memory + disk) observed by this process.
+CACHE_HITS = "cache_hits"
+#: Run-cache misses (fresh convergences) observed by this process.
+CACHE_MISSES = "cache_misses"
+#: Sweep-point retry attempts beyond the first try.
+SWEEP_POINT_RETRIES = "sweep_point_retries"
+#: Vertex intervals fetched by the hybrid memory controller.
+INTERVAL_FETCHES = "interval_fetches"
+#: Algorithm convergence sweeps executed (iterations histogram source).
+CONVERGENCE_ITERATIONS = "convergence_iterations"
+
+
+class MetricsError(ReproError):
+    """Invalid metrics usage (type clash on a name, bad value)."""
+
+
+class Counter:
+    """Monotonically increasing sum (float-valued: edge counts scale)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments.
+
+    Thread-safe: instrument creation and every update share one
+    registry lock, so concurrent sweep evaluations (worker threads, or
+    the timeout thread in :mod:`repro.arch.sweep`) never lose
+    increments.  Worker *processes* each own a registry; the parent
+    folds their snapshots back in with :meth:`merge`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, self._lock)
+                self._instruments[name] = instrument
+                return instrument
+        if not isinstance(instrument, cls):
+            raise MetricsError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__.lower()}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # --- reading ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """Point-in-time dict view, sorted by name (JSON-ready)."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: inst.to_dict() for name, inst in items}
+
+    def merge(self, snapshot: dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` from another process into this one.
+
+        Counters and histogram summaries add; gauges take the incoming
+        value (last writer wins, matching gauge semantics).
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).add(float(data["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(data["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                with self._lock:
+                    count = int(data["count"])
+                    if count:
+                        hist.count += count
+                        hist.total += float(data["sum"])
+                        hist.min = min(hist.min, float(data["min"]))
+                        hist.max = max(hist.max, float(data["max"]))
+            else:
+                raise MetricsError(
+                    f"cannot merge metric {name!r} of type {kind!r}"
+                )
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; the CLI resets per invocation)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def format(self) -> str:
+        """Aligned text rendering for ``repro metrics``."""
+        lines = []
+        for name, data in self.snapshot().items():
+            if data["type"] == "histogram":
+                value = (f"count={data['count']} sum={data['sum']:g} "
+                         f"min={data['min']} max={data['max']}")
+            else:
+                value = f"{data['value']:g}"
+            lines.append(f"{name:28s} {data['type']:9s} {value}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# --- process-wide default ----------------------------------------------------
+
+_REGISTRY: MetricsRegistry | None = None
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry the instrumentation hooks update."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def set_metrics(registry: MetricsRegistry | None) -> None:
+    """Replace the process-wide registry (``None`` resets lazily)."""
+    global _REGISTRY
+    _REGISTRY = registry

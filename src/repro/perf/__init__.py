@@ -10,6 +10,15 @@ changing any reproduced number:
 * :mod:`repro.perf.bench` — a wall-clock harness that times experiment
   drivers and records a ``BENCH_*.json`` perf trajectory for future
   changes to regress against.
+
+The disk store's location is controlled by ``$REPRO_CACHE_DIR`` (then
+``$XDG_CACHE_HOME/hyve-repro``, then ``~/.cache/hyve-repro``); the CLI
+surfaces it via ``repro cache info|clear`` and warms it under
+``repro experiment --jobs N``.  Cache lookups are observable: every
+hit/miss increments the ``cache_hits``/``cache_misses`` counters of
+:mod:`repro.obs.metrics`.  Layout and invalidation rules are documented
+in docs/performance.md; the observability story in
+docs/observability.md.
 """
 
 from .cache import (

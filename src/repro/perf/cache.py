@@ -39,6 +39,14 @@ import numpy as np
 from ..algorithms.base import EdgeCentricAlgorithm
 from ..algorithms.runner import AlgorithmRun, run_vectorized
 from ..graph.graph import Graph
+from ..obs import metrics as obs_metrics
+
+
+def _observe_lookup(hit: bool) -> None:
+    """Mirror a cache lookup into the process metrics registry."""
+    metrics = obs_metrics.get_metrics()
+    name = obs_metrics.CACHE_HITS if hit else obs_metrics.CACHE_MISSES
+    metrics.counter(name).add(1)
 
 #: Code-version salt baked into every cache key.  Bump when the
 #: executor or an algorithm changes in a result-affecting way.
@@ -175,13 +183,16 @@ class RunCache:
         if run is not None:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            _observe_lookup(hit=True)
             return run
         loaded = self._load(key)
         if loaded is not None:
             run, _ = loaded
             self.stats.disk_hits += 1
+            _observe_lookup(hit=True)
         else:
             self.stats.misses += 1
+            _observe_lookup(hit=False)
 
             def compute() -> AlgorithmRun:
                 result = run_vectorized(algorithm, graph)
@@ -213,6 +224,7 @@ class RunCache:
         if vc is not None:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            _observe_lookup(hit=True)
             return vc
         loaded = self._load(key)
         if loaded is not None:
@@ -224,11 +236,13 @@ class RunCache:
                     vertices_scanned=int(meta["vertices_scanned"]),
                 )
                 self.stats.disk_hits += 1
+                _observe_lookup(hit=True)
             except KeyError:
                 self.stats.errors += 1
                 vc = None
         if vc is None:
             self.stats.misses += 1
+            _observe_lookup(hit=False)
 
             def compute():
                 result = run_vertex_centric(algorithm, graph)
@@ -275,6 +289,7 @@ class RunCache:
         if hit is not None:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            _observe_lookup(hit=True)
             return hit
         path = (None if self.directory is None
                 else self.directory / f"{key}.json")
@@ -284,11 +299,13 @@ class RunCache:
                 value = float(json.loads(raw)["value"])
                 self.stats.disk_hits += 1
                 self.stats.bytes_read += len(raw)
+                _observe_lookup(hit=True)
                 self._remember(key, value)
                 return value
             except (OSError, ValueError, KeyError, json.JSONDecodeError):
                 self.stats.errors += 1
         self.stats.misses += 1
+        _observe_lookup(hit=False)
 
         def compute_and_store() -> float:
             value = float(compute())

@@ -1,0 +1,63 @@
+"""Docs gate: the link/anchor checker and doc doctests stay green."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+class TestSlug:
+    def test_github_slug_rules(self):
+        assert check_docs.github_slug("Trace schema (`hyve-trace-v1`)") \
+            == "trace-schema-hyve-trace-v1"
+        assert check_docs.github_slug("Span and event taxonomy") \
+            == "span-and-event-taxonomy"
+        assert check_docs.github_slug("C++ & Python!") == "c--python"
+
+
+class TestRepoDocs:
+    def test_no_broken_links_or_anchors(self):
+        files = sorted((REPO_ROOT / "docs").glob("*.md"))
+        files.append(REPO_ROOT / "README.md")
+        assert check_docs.check_links(files) == []
+
+    def test_doc_doctests_pass(self):
+        assert check_docs.run_doctests(check_docs.DOCTEST_FILES) == []
+
+    def test_checker_flags_broken_link(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("[dead](missing.md) and [frag](#nowhere)\n")
+        problems = check_docs.check_links([bad])
+        assert len(problems) == 2
+        assert any("missing.md" in p for p in problems)
+        assert any("#nowhere" in p for p in problems)
+
+
+class TestObservabilityPage:
+    def test_documents_every_metric_constant(self):
+        from repro.obs import metrics as m
+
+        page = (REPO_ROOT / "docs" / "observability.md").read_text()
+        constants = [
+            m.EDGES_STREAMED, m.EXECUTOR_EDGES, m.BPG_BANK_WAKES,
+            m.ROUTER_ROTATIONS, m.CACHE_HITS, m.CACHE_MISSES,
+            m.SWEEP_POINT_RETRIES, m.INTERVAL_FETCHES,
+            m.CONVERGENCE_ITERATIONS,
+        ]
+        for name in constants:
+            assert f"`{name}`" in page, f"{name} undocumented"
+
+    def test_documents_schema_version(self):
+        from repro.obs import TRACE_SCHEMA
+
+        page = (REPO_ROOT / "docs" / "observability.md").read_text()
+        assert TRACE_SCHEMA in page

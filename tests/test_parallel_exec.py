@@ -95,7 +95,8 @@ class TestPointsToCsv:
         text = points_to_csv(points)
         lines = text.splitlines()
         assert lines[0] == ("field,value,label,energy_j,time_s,"
-                            "mteps_per_watt,attempts,error")
+                            "mteps_per_watt,iterations,edges_streamed,"
+                            "retries,attempts,error")
         assert len(lines) == 3
         ok_row, bad_row = lines[1], lines[2]
         assert ok_row.startswith("num_pus,4,")

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Docs gate: check markdown links/anchors and run doc doctests.
+
+Two checks, both over ``docs/*.md`` plus ``README.md``:
+
+1. **Links** — every relative markdown link must point at an existing
+   file (resolved from the linking file's directory), and every
+   fragment (``file.md#section`` or in-page ``#section``) must match a
+   heading anchor in the target file, using GitHub's slug rules
+   (lowercase, punctuation stripped, spaces to hyphens).  External
+   links (``http(s)://``, ``mailto:``) are not fetched.
+2. **Doctests** — fenced ``>>>`` examples in ``docs/observability.md``
+   are executed with :mod:`doctest` so the documented API stays real.
+
+Usage (CI runs exactly this)::
+
+    python tools/check_docs.py
+
+Exits non-zero listing every broken link/anchor or failing example.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Files whose fenced ``>>>`` examples must execute cleanly.
+DOCTEST_FILES = ("docs/observability.md",)
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, hyphenate."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All anchor slugs defined by a markdown file's headings."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (lineno, target) for every markdown link in ``path``."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_links(files: list[Path]) -> list[str]:
+    problems: list[str] = []
+    for path in files:
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:  # checking a file outside the repo (tests)
+            rel = path
+        for lineno, target in iter_links(path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            if base:
+                dest = (path.parent / base).resolve()
+                if not dest.exists():
+                    problems.append(
+                        f"{rel}:{lineno}: broken link -> {target}"
+                    )
+                    continue
+            else:
+                dest = path.resolve()
+            if fragment:
+                if dest.suffix.lower() != ".md" or dest.is_dir():
+                    continue
+                if fragment not in heading_anchors(dest):
+                    problems.append(
+                        f"{rel}:{lineno}: broken anchor -> {target}"
+                    )
+    return problems
+
+
+def run_doctests(files: tuple[str, ...]) -> list[str]:
+    problems: list[str] = []
+    for name in files:
+        path = REPO_ROOT / name
+        if not path.exists():
+            problems.append(f"{name}: doctest target missing")
+            continue
+        failures, attempted = doctest.testfile(
+            str(path), module_relative=False, verbose=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        if attempted == 0:
+            problems.append(f"{name}: no doctest examples found")
+        elif failures:
+            problems.append(
+                f"{name}: {failures}/{attempted} doctest example(s) failed"
+            )
+    return problems
+
+
+def main() -> int:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    files.append(REPO_ROOT / "README.md")
+    problems = check_links(files)
+    problems += run_doctests(DOCTEST_FILES)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{len(problems)} docs problem(s)", file=sys.stderr)
+        return 1
+    checked = len(files)
+    print(f"docs ok: {checked} file(s) link-checked, "
+          f"{len(DOCTEST_FILES)} doctested")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

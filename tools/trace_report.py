@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Fold a JSONL trace into a per-phase time/energy attribution table.
+
+Usage::
+
+    PYTHONPATH=src python -m repro trace headline --trace-out t.jsonl
+    python tools/trace_report.py t.jsonl
+    python tools/trace_report.py t.jsonl --json
+
+Reads a trace recorded by :mod:`repro.obs.trace` (schema
+``hyve-trace-v1``; any ``--trace-out`` flag or the ``repro trace``
+subcommand produces one), validates every record, and prints the table
+built by :func:`repro.obs.attribution.format_attribution`: per-phase
+modelled seconds and joules, their shares, and the delta against the
+EnergyReport totals recorded in the same trace (zero by construction —
+both are emitted from the same numbers).
+
+``--json`` emits the folded attribution as a JSON object instead, for
+scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def attribution_to_dict(attribution) -> dict:
+    return {
+        "time_s": attribution.time_s,
+        "energy_j": attribution.energy_j,
+        "total_time_s": attribution.total_time_s,
+        "total_energy_j": attribution.total_energy_j,
+        "reported_time_s": attribution.reported_time_s,
+        "reported_energy_j": attribution.reported_energy_j,
+        "reports": attribution.reports,
+        "span_count": attribution.span_count,
+        "event_count": attribution.event_count,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="trace_report",
+        description="per-phase time/energy attribution of a JSONL trace",
+    )
+    parser.add_argument("trace", help="trace file (hyve-trace-v1 JSONL)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the folded attribution as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+    from repro.obs import fold_records, format_attribution
+    from repro.obs.trace import read_trace
+
+    try:
+        attribution = fold_records(read_trace(args.trace))
+        if args.json:
+            print(json.dumps(attribution_to_dict(attribution), indent=2))
+        else:
+            print(format_attribution(attribution))
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
