@@ -16,7 +16,10 @@ optimisations; the folding logic is shared.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..algorithms.base import EdgeCentricAlgorithm
 from ..algorithms.runner import AlgorithmRun, run_cached
@@ -144,7 +147,11 @@ class AcceleratorMachine:
             with tracer.span("algorithm.converge", algorithm=algorithm.name):
                 run = run_cached(algorithm, workload.graph)
             with tracer.span("schedule.counts"):
-                counts = ScheduleCounts.compute(run, workload, self.config)
+                # Memoized in the two-level run cache (simulate once /
+                # price many); bit-identical to ScheduleCounts.compute.
+                from ..perf.batch import scheduled_counts
+
+                counts = scheduled_counts(run, workload, self.config)
             with tracer.span("fold"):
                 report, fault_report = self._fold(run, counts, workload)
         return SimulationResult(report=report, run=run, faults=fault_report)
@@ -580,6 +587,406 @@ def _narrow_random_cost(
         latency=hit_rate * seq.latency + (1.0 - hit_rate) * rnd.latency,
         energy=hit_rate * hit_energy + (1.0 - hit_rate) * miss_energy,
     )
+
+
+# --- batched folding (simulate once, price many) ---------------------------
+
+#: Shared, memoized device instances for the batch fold, each paired
+#: with its unit-cost table (the access costs the gather loop needs,
+#: precomputed once per technology point).  Device models are pure cost
+#: functions of their frozen configs (stats helpers are never called on
+#: this path), so instances can be shared; ReRAM construction in
+#: particular runs an NVSim-lite solve worth caching.
+_DEVICE_MEMO: OrderedDict = OrderedDict()
+_SRAM_MEMO: OrderedDict = OrderedDict()
+_DEVICE_MEMO_CAP = 64
+
+
+def _device_cost_table(device: MemoryDevice) -> tuple[float, ...]:
+    """(sr_lat, sr_en, sw_lat, sw_en, rr_lat, rr_en, rw_lat, rw_en,
+    access_bits) — every unit cost the batch gather can ask of a
+    device, evaluated once when the device enters the memo."""
+    sr = device.access_cost(AccessKind.READ, AccessPattern.SEQUENTIAL)
+    sw = device.access_cost(AccessKind.WRITE, AccessPattern.SEQUENTIAL)
+    rr = device.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+    rw = device.access_cost(AccessKind.WRITE, AccessPattern.RANDOM)
+    return (sr.latency, sr.energy, sw.latency, sw.energy,
+            rr.latency, rr.energy, rw.latency, rw.energy,
+            float(device.access_bits))
+
+
+def _shared_device(
+    tech: str, config: HyVEConfig
+) -> tuple[MemoryDevice, tuple[float, ...]]:
+    if tech == MemoryTechnology.RERAM:
+        key = ("reram", config.reram)
+    else:
+        key = ("dram", config.dram)
+    entry = _DEVICE_MEMO.get(key)
+    if entry is None:
+        device = (
+            ReRAMChip(config.reram)
+            if tech == MemoryTechnology.RERAM
+            else DDR4Chip(config.dram)
+        )
+        entry = (device, _device_cost_table(device))
+        _DEVICE_MEMO[key] = entry
+        if len(_DEVICE_MEMO) > _DEVICE_MEMO_CAP:
+            _DEVICE_MEMO.popitem(last=False)
+    else:
+        _DEVICE_MEMO.move_to_end(key)
+    return entry
+
+
+def _shared_sram(
+    capacity_bits: int,
+) -> tuple[OnChipSRAM, tuple[float, ...]]:
+    """(sram, (cycle, read_energy, write_energy, access_bits))."""
+    entry = _SRAM_MEMO.get(capacity_bits)
+    if entry is None:
+        sram = OnChipSRAM(capacity_bits)
+        read = sram.access_cost(AccessKind.READ, AccessPattern.RANDOM)
+        write = sram.access_cost(AccessKind.WRITE, AccessPattern.RANDOM)
+        entry = (sram, (sram.point.read_latency, read.energy,
+                        write.energy, float(sram.access_bits)))
+        _SRAM_MEMO[capacity_bits] = entry
+        if len(_SRAM_MEMO) > _DEVICE_MEMO_CAP:
+            _SRAM_MEMO.popitem(last=False)
+    else:
+        _SRAM_MEMO.move_to_end(capacity_bits)
+    return entry
+
+
+def _check_grid_config(
+    config: HyVEConfig, head: HyVEConfig, counts: ScheduleCounts
+) -> None:
+    """Reject a config whose schedule would differ from ``counts``."""
+    from .config import choose_num_intervals
+
+    if config.num_pus != counts.num_pus:
+        raise ConfigError(
+            f"fold_many: config {config.label!r} has num_pus="
+            f"{config.num_pus}, counts expect {counts.num_pus}"
+        )
+    p = choose_num_intervals(config, counts.vertices, counts.vertex_bits)
+    if p != counts.num_intervals:
+        raise ConfigError(
+            f"fold_many: config {config.label!r} partitions into {p} "
+            f"intervals, counts expect {counts.num_intervals}"
+        )
+    for flag in ("has_onchip", "data_sharing", "hash_placement"):
+        if getattr(config, flag) != getattr(head, flag):
+            raise ConfigError(
+                f"fold_many: config {config.label!r} differs from the "
+                f"grid on {flag}; group configs by counts key first"
+            )
+
+
+def fold_many(
+    run: AlgorithmRun,
+    counts: ScheduleCounts,
+    workload: Workload,
+    configs: list[HyVEConfig],
+) -> list[EnergyReport]:
+    """Price one :class:`ScheduleCounts` against a grid of configs.
+
+    The vectorized counterpart of the ideal-device (no fault profile)
+    ``_fold``: per-config unit costs are gathered from memoized device
+    models, the dynamic-energy and busy-time terms are evaluated as
+    NumPy float64 array passes that mirror the scalar fold expression
+    for expression (same operands, same association, same IEEE-754
+    operations), and the per-config tail (BPG planning, background
+    integration, report assembly) replays the scalar order exactly —
+    so element ``i`` is bit-identical to
+    ``AcceleratorMachine(configs[i]).run(...).report``.
+
+    Every config must share the schedule described by ``counts``
+    (grouping by :func:`repro.perf.batch.counts_cache_key` guarantees
+    this); mismatches raise :class:`ConfigError`.
+    """
+    if not configs:
+        return []
+    head = configs[0]
+    for config in configs:
+        _check_grid_config(config, head, counts)
+    onchip = head.has_onchip
+    tracer = get_tracer()
+    metrics = obs_metrics.get_metrics()
+    metrics.counter(obs_metrics.FOLD_MANY_CONFIGS).add(len(configs))
+    with tracer.span(
+        "fold_many",
+        algorithm=run.algorithm,
+        graph=workload.name,
+        configs=len(configs),
+    ):
+        return _fold_many_impl(run, counts, workload, configs, onchip)
+
+
+def _fold_many_impl(
+    run: AlgorithmRun,
+    counts: ScheduleCounts,
+    workload: Workload,
+    configs: list[HyVEConfig],
+    onchip: bool,
+) -> list[EnergyReport]:
+    edge_footprint = (
+        counts.edges_total / counts.iterations
+    ) * counts.edge_bits * FOOTPRINT_SLACK
+    vertex_footprint = counts.vertices * counts.vertex_bits * FOOTPRINT_SLACK
+
+    # --- gather: per-config devices and unit costs (memoized) ----------
+    edge_devs: list[MemoryDevice] = []
+    vertex_devs: list[MemoryDevice] = []
+    srams: list[OnChipSRAM] = []
+    edge_chips: list[int] = []
+    vertex_chips: list[int] = []
+    gather: dict[str, list[float]] = {
+        name: []
+        for name in (
+            "e_sr_lat", "e_sr_en", "e_rr_lat", "e_rr_en", "e_abits",
+            "v_sr_lat", "v_sr_en", "v_sw_lat", "v_sw_en",
+            "v_rr_lat", "v_rr_en", "v_rw_lat", "v_rw_en", "v_abits",
+            "hit", "mlp", "ii", "s_r_en", "s_w_en", "s_abits",
+        )
+    }
+    op_energy = 0.0
+    pipeline_fill = 0.0
+    for cfg in configs:
+        edge_dev, e_costs = _shared_device(cfg.edge_memory, cfg)
+        vertex_dev, v_costs = _shared_device(cfg.offchip_vertex, cfg)
+        edge_devs.append(edge_dev)
+        vertex_devs.append(vertex_dev)
+        density = (
+            cfg.reram.density_bits
+            if cfg.edge_memory == MemoryTechnology.RERAM
+            else cfg.dram.density_bits
+        )
+        edge_chips.append(
+            max(MIN_EDGE_CHIPS_PER_RANK,
+                math.ceil(edge_footprint / density))
+        )
+        density = (
+            cfg.reram.density_bits
+            if cfg.offchip_vertex == MemoryTechnology.RERAM
+            else cfg.dram.density_bits
+        )
+        vertex_chips.append(
+            max(MIN_VERTEX_CHIPS, math.ceil(vertex_footprint / density))
+        )
+        if onchip:
+            sram, s_costs = _shared_sram(cfg.sram_bits)
+            srams.append(sram)
+            sram_cycle, s_r_en, s_w_en, s_abits = s_costs
+        else:
+            sram_cycle = e_costs[4] / cfg.random_access_mlp  # rnd-read lat
+            s_r_en = s_w_en = 0.0
+            s_abits = 1.0
+        pu = ProcessingUnitModel(sram_cycle=sram_cycle)
+        op_energy = pu.op_energy(run.algorithm)
+        pipeline_fill = pu.pipeline_fill()
+        g = gather
+        g["e_sr_lat"].append(e_costs[0])
+        g["e_sr_en"].append(e_costs[1])
+        g["e_rr_lat"].append(e_costs[4])
+        g["e_rr_en"].append(e_costs[5])
+        g["e_abits"].append(e_costs[8])
+        g["v_sr_lat"].append(v_costs[0])
+        g["v_sr_en"].append(v_costs[1])
+        g["v_sw_lat"].append(v_costs[2])
+        g["v_sw_en"].append(v_costs[3])
+        g["v_rr_lat"].append(v_costs[4])
+        g["v_rr_en"].append(v_costs[5])
+        g["v_rw_lat"].append(v_costs[6])
+        g["v_rw_en"].append(v_costs[7])
+        g["v_abits"].append(v_costs[8])
+        g["hit"].append(cfg.region_hit_rate)
+        g["mlp"].append(float(min(cfg.random_access_mlp, cfg.num_pus)))
+        g["ii"].append(pu.initiation_interval)
+        g["s_r_en"].append(s_r_en)
+        g["s_w_en"].append(s_w_en)
+        g["s_abits"].append(s_abits)
+    a = {name: np.asarray(vals, dtype=np.float64)
+         for name, vals in gather.items()}
+
+    # --- vector passes: dynamic energy and busy time -------------------
+    # Each expression mirrors the scalar fold's operand order exactly.
+    e_accesses = counts.edge_stream_bits / a["e_abits"]
+    edge_stream_en = a["e_sr_en"] * e_accesses
+    edge_stream_lat = a["e_sr_lat"] * e_accesses
+    seek_extra = counts.block_seeks * np.maximum(
+        0.0, a["e_rr_lat"] - a["e_sr_lat"]
+    )
+
+    load_acc = counts.offchip_load_bits / a["v_abits"]
+    load_en = a["v_sr_en"] * load_acc
+    load_lat = a["v_sr_lat"] * load_acc
+    store_acc = counts.offchip_store_bits / a["v_abits"]
+    store_en = a["v_sw_en"] * store_acc
+    store_lat = a["v_sw_lat"] * store_acc
+
+    # _narrow_random_cost, vectorized (64-bit burst).
+    narrow = 64.0 / a["v_abits"]
+    hit = a["hit"]
+    hit_en_r = a["v_sr_en"] * narrow
+    miss_en_r = hit_en_r + np.maximum(0.0, a["v_rr_en"] - a["v_sr_en"])
+    rnd_r_lat = hit * a["v_sr_lat"] + (1.0 - hit) * a["v_rr_lat"]
+    rnd_r_en = hit * hit_en_r + (1.0 - hit) * miss_en_r
+    hit_en_w = a["v_sw_en"] * narrow
+    miss_en_w = hit_en_w + np.maximum(0.0, a["v_rw_en"] - a["v_sw_en"])
+    rnd_w_lat = hit * a["v_sw_lat"] + (1.0 - hit) * a["v_rw_lat"]
+    rnd_w_en = hit * hit_en_w + (1.0 - hit) * miss_en_w
+
+    offchip_en = (
+        load_en
+        + store_en
+        + counts.random_read_ops * rnd_r_en
+        + counts.random_write_ops * rnd_w_en
+    )
+    if onchip:
+        onchip_en = (
+            (counts.onchip_read_bits / a["s_abits"]) * a["s_r_en"]
+            + (counts.onchip_write_bits / a["s_abits"]) * a["s_w_en"]
+        )
+    else:
+        onchip_en = np.zeros(len(configs))
+
+    processing_en = counts.pu_ops * (
+        op_energy + params.PIPELINE_ENERGY_PER_EDGE
+    )
+    router = RouterModel(counts.num_pus)
+    router_en = router.transfer_energy(
+        counts.router_words
+    ) + router.reroute_energy(counts.reroute_events)
+    requests = (
+        e_accesses
+        + counts.offchip_bits / a["v_abits"]
+        + counts.random_read_ops
+        + counts.random_write_ops
+    )
+    controller_en = requests * params.CONTROLLER_REQUEST_ENERGY
+
+    t_stream = edge_stream_lat + seek_extra
+    t_proc = counts.pu_ops * a["ii"] * counts.imbalance / counts.num_pus
+    if counts.random_read_ops or counts.random_write_ops:
+        t_random = (
+            counts.random_read_ops * rnd_r_lat
+            + counts.random_write_ops * rnd_w_lat
+        ) / a["mlp"]
+    else:
+        t_random = np.zeros(len(configs))
+    t_step = counts.steps_total * (params.SYNC_LATENCY + pipeline_fill)
+    if configs[0].data_sharing:
+        t_step += router.fill_latency(counts.steps_total)
+    t_processing_phase = (
+        np.maximum(np.maximum(t_stream, t_proc), t_random) + t_step
+    )
+    t_schedule = load_lat + store_lat
+    duration0 = t_processing_phase + t_schedule
+
+    logic_power = (
+        counts.num_pus * params.PU_LEAKAGE
+        + router.leakage_power
+        + params.CONTROLLER_POWER
+    )
+
+    # --- tail: per-config gating, background, report assembly ----------
+    # Inherently per element (dict insertion order, BPG branch); every
+    # value is narrowed to a Python float so reports round-trip through
+    # repr()/JSON exactly like the scalar path's.
+    reports: list[EnergyReport] = []
+    metrics = obs_metrics.get_metrics()
+    edges_streamed = metrics.counter(obs_metrics.EDGES_STREAMED)
+    bank_wakes = metrics.counter(obs_metrics.BPG_BANK_WAKES)
+    rotations = metrics.counter(obs_metrics.ROUTER_ROTATIONS)
+    tracer = get_tracer()
+    for i, cfg in enumerate(configs):
+        report = EnergyReport(
+            machine=cfg.label,
+            algorithm=run.algorithm,
+            graph=workload.name,
+            edges_traversed=counts.edges_total,
+            iterations=counts.iterations,
+            time=0.0,
+        )
+        report.add(rpt.EDGE_MEMORY, float(edge_stream_en[i]))
+        report.add(rpt.OFFCHIP_VERTEX, float(offchip_en[i]))
+        if onchip:
+            report.add(rpt.ONCHIP_VERTEX, float(onchip_en[i]))
+        report.add(rpt.PROCESSING, processing_en)
+        report.add(rpt.ROUTER, router_en)
+        report.add(rpt.CONTROLLER, float(controller_en[i]))
+
+        duration = float(duration0[i])
+        gating = GatingReport(0.0, 0, 0.0, 0.0)
+        if (
+            cfg.edge_memory == MemoryTechnology.RERAM
+            and cfg.power_gating.enabled
+        ):
+            gater = BankPowerGating(cfg.power_gating)
+            gating = gater.plan(
+                num_banks=edge_chips[i] * cfg.reram.num_banks,
+                active_banks=(
+                    1 if cfg.reram.subbank_interleaving
+                    else cfg.reram.num_banks
+                ),
+                streamed_bits=counts.edge_stream_bits,
+                bank_capacity_bits=cfg.reram.bank_capacity_bits,
+                duration=duration,
+            )
+            duration += gating.overhead_time
+            report.add(rpt.EDGE_MEMORY, gating.overhead_energy)
+        report.time = duration
+
+        report.add(
+            rpt.EDGE_MEMORY_BG,
+            edge_chips[i]
+            * edge_devs[i].background_energy(
+                duration, gating.gated_fraction
+            ),
+        )
+        report.add(
+            rpt.OFFCHIP_VERTEX_BG,
+            vertex_chips[i] * vertex_devs[i].background_energy(duration),
+        )
+        if onchip:
+            report.add(
+                rpt.ONCHIP_VERTEX_BG,
+                cfg.num_pus * srams[i].background_energy(duration),
+            )
+        report.add(rpt.LOGIC_BG, logic_power * duration)
+
+        edges_streamed.add(counts.edges_total)
+        bank_wakes.add(gating.transitions)
+        rotations.add(counts.reroute_events)
+        if tracer.enabled:
+            from ..obs.attribution import emit_report
+
+            ts, tp, trv = (
+                float(t_stream[i]), float(t_proc[i]), float(t_random[i])
+            )
+            phase_times = {p: 0.0 for p in
+                           ("stream", "process", "schedule", "gating")}
+            if ts >= tp and ts >= trv:
+                phase_times["stream"] += ts
+            elif tp >= trv:
+                phase_times["process"] += tp
+            else:
+                phase_times["schedule"] += trv
+            phase_times["process"] += float(t_step)
+            phase_times["schedule"] += float(t_schedule[i])
+            phase_times["gating"] += gating.overhead_time
+            emit_report(
+                tracer, report, phase_times,
+                detail={
+                    "t_stream": ts,
+                    "t_compute": tp,
+                    "t_random_vertex": trv,
+                    "t_step_overheads": float(t_step),
+                    "bank_wake_transitions": gating.transitions,
+                },
+            )
+        reports.append(report)
+    return reports
 
 
 def make_machine(

@@ -20,11 +20,13 @@ Counts are computed at the workload's reported scale (see
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..algorithms.runner import AlgorithmRun
 from ..errors import ConfigError
 from ..graph.hash_partition import hash_partition, imbalance
+from ..obs import metrics as obs_metrics
 from ..obs.trace import get_tracer
 from .config import HyVEConfig, Workload, choose_num_intervals
 
@@ -34,7 +36,21 @@ from .config import HyVEConfig, Workload, choose_num_intervals
 #: reference partition is used (documented model approximation).
 _IMBALANCE_REFERENCE_MULTIPLE = 8
 
-_IMBALANCE_CACHE: dict[tuple[str, int, bool], float] = {}
+#: In-process imbalance memo, LRU-bounded: a long-lived sweep process
+#: touching many graphs must not grow it without limit (disk-level
+#: reuse stays in the run cache's scalar store).
+_IMBALANCE_CACHE: OrderedDict[tuple[str, int, bool], float] = OrderedDict()
+_IMBALANCE_CACHE_CAP = 128
+
+
+def _imbalance_remember(key: tuple[str, int, bool], value: float) -> None:
+    _IMBALANCE_CACHE[key] = value
+    _IMBALANCE_CACHE.move_to_end(key)
+    while len(_IMBALANCE_CACHE) > _IMBALANCE_CACHE_CAP:
+        _IMBALANCE_CACHE.popitem(last=False)
+    obs_metrics.get_metrics().gauge(
+        obs_metrics.IMBALANCE_CACHE_SIZE
+    ).set(len(_IMBALANCE_CACHE))
 
 
 def estimate_imbalance(run: AlgorithmRun, workload: Workload,
@@ -50,8 +66,10 @@ def estimate_imbalance(run: AlgorithmRun, workload: Workload,
     """
     graph = workload.graph
     key = (graph.fingerprint(), num_pus, hash_placement)
-    if key in _IMBALANCE_CACHE:
-        return _IMBALANCE_CACHE[key]
+    hit = _IMBALANCE_CACHE.get(key)
+    if hit is not None:
+        _IMBALANCE_CACHE.move_to_end(key)
+        return hit
 
     def compute() -> float:
         # The streamed graph may differ (CC symmetrises); imbalance of
@@ -67,7 +85,7 @@ def estimate_imbalance(run: AlgorithmRun, workload: Workload,
     value = get_run_cache().get_or_scalar(
         f"imbalance-n{num_pus}-hash{int(hash_placement)}", graph, compute
     )
-    _IMBALANCE_CACHE[key] = value
+    _imbalance_remember(key, value)
     return value
 
 

@@ -27,12 +27,13 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..algorithms.base import EdgeCentricAlgorithm
+from ..algorithms.runner import AlgorithmRun, run_cached
 from ..errors import ConfigError, SweepPointError
 from ..graph.graph import Graph
 from ..obs import metrics as obs_metrics
 from ..obs.trace import get_tracer
 from .config import HyVEConfig, Workload
-from .machine import AcceleratorMachine
+from .machine import AcceleratorMachine, fold_many
 from .report import EnergyReport
 
 
@@ -67,6 +68,16 @@ class SweepPolicy:
             on-disk run cache (:mod:`repro.perf.cache`) as they go.
             Requires a picklable ``algorithm_factory`` (a class or a
             module-level function, not a lambda).
+        batch: evaluate the serial path simulate-once / price-many: the
+            pending points are grouped by shared schedule-counts key
+            (:class:`BatchPlan`) and each group is priced by one
+            vectorized :func:`repro.arch.machine.fold_many` call,
+            bit-identical per point to the plain loop.  Batching only
+            engages when it cannot change semantics — no per-point
+            timeout, no fault profile, serial evaluation — and any
+            batch failure falls back to the per-point path (with its
+            full retry/backoff/isolation behaviour).  Set False to
+            force the plain per-point loop.
     """
 
     timeout: float | None = None
@@ -75,6 +86,7 @@ class SweepPolicy:
     isolate_errors: bool = False
     checkpoint_path: str | Path | None = None
     max_workers: int = 1
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -169,12 +181,14 @@ def _evaluate_once(
     workload: Workload,
     faults,
     timeout: float | None,
+    executor: concurrent.futures.ThreadPoolExecutor | None = None,
 ) -> EnergyReport:
     """One evaluation attempt, optionally bounded by a timeout.
 
-    The timeout runs the model on a worker thread and abandons it on
-    expiry — the orphaned thread finishes in the background (the model
-    is pure compute with no side effects), but the sweep moves on.
+    The timeout runs the model on a worker thread (from the per-point
+    ``executor``) and abandons it on expiry — the orphaned thread
+    finishes in the background (the model is pure compute with no side
+    effects), but the sweep moves on.
     """
     def run() -> EnergyReport:
         return AcceleratorMachine(config, faults=faults).run(
@@ -183,18 +197,14 @@ def _evaluate_once(
 
     if timeout is None:
         return run()
-    executor = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+    future = executor.submit(run)
     try:
-        future = executor.submit(run)
-        try:
-            return future.result(timeout=timeout)
-        except concurrent.futures.TimeoutError:
-            future.cancel()
-            raise SweepPointError(
-                f"evaluation exceeded {timeout:g}s timeout"
-            ) from None
-    finally:
-        executor.shutdown(wait=False)
+        return future.result(timeout=timeout)
+    except concurrent.futures.TimeoutError:
+        future.cancel()
+        raise SweepPointError(
+            f"evaluation exceeded {timeout:g}s timeout"
+        ) from None
 
 
 def _evaluate_point(
@@ -203,27 +213,48 @@ def _evaluate_point(
     workload: Workload,
     faults,
     policy: SweepPolicy,
+    first_error: BaseException | None = None,
 ) -> tuple[EnergyReport | None, str | None, int]:
-    """Retry loop around one point: (report, error, attempts spent)."""
-    last_error: BaseException | None = None
-    attempts = 0
+    """Retry loop around one point: (report, error, attempts spent).
+
+    ``first_error`` records a failure that already consumed this
+    point's first attempt before the loop (the batch planner's shared
+    convergence failing); the loop then starts directly at the first
+    *retry*, with its usual backoff and retry accounting.
+    """
+    last_error: BaseException | None = first_error
+    attempts = 1 if first_error is not None else 0
     tracer = get_tracer()
-    for attempt in range(policy.retries + 1):
-        if attempt > 0:
-            obs_metrics.get_metrics().counter(
-                obs_metrics.SWEEP_POINT_RETRIES
-            ).add()
-            if policy.backoff > 0:
-                time.sleep(policy.backoff * 2 ** (attempt - 1))
-        attempts += 1
-        try:
-            with tracer.span("sweep_point", label=config.label,
-                             attempt=attempts):
-                report = _evaluate_once(config, algorithm_factory,
-                                        workload, faults, policy.timeout)
-            return report, None, attempts
-        except Exception as exc:  # isolated per point by design
-            last_error = exc
+    executor: concurrent.futures.ThreadPoolExecutor | None = None
+    if policy.timeout is not None:
+        # One pool per point, sized so every retry gets a fresh thread
+        # even while earlier timed-out attempts still occupy theirs:
+        # an orphaned attempt finishes in the background while the
+        # sweep moves on.
+        executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=policy.retries + 1
+        )
+    try:
+        for attempt in range(attempts, policy.retries + 1):
+            if attempt > 0:
+                obs_metrics.get_metrics().counter(
+                    obs_metrics.SWEEP_POINT_RETRIES
+                ).add()
+                if policy.backoff > 0:
+                    time.sleep(policy.backoff * 2 ** (attempt - 1))
+            attempts += 1
+            try:
+                with tracer.span("sweep_point", label=config.label,
+                                 attempt=attempts):
+                    report = _evaluate_once(config, algorithm_factory,
+                                            workload, faults,
+                                            policy.timeout, executor)
+                return report, None, attempts
+            except Exception as exc:  # isolated per point by design
+                last_error = exc
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False)
     message = f"{type(last_error).__name__}: {last_error}"
     if policy.isolate_errors:
         return None, message, attempts
@@ -231,6 +262,91 @@ def _evaluate_point(
         f"sweep point {config.label!r} failed after "
         f"{attempts} attempt(s): {message}"
     ) from last_error
+
+
+def _batchable(policy: SweepPolicy, faults) -> bool:
+    """Whether the serial path may evaluate simulate-once / price-many.
+
+    Batching must be invisible: a per-point timeout bounds each
+    evaluation's wall clock individually, and a fault profile perturbs
+    devices per machine — both force the plain per-point loop.
+    """
+    return (
+        policy.batch
+        and policy.timeout is None
+        and (faults is None or faults.is_zero)
+    )
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Pending sweep points grouped by shared schedule-counts key.
+
+    Built once per serial sweep: the algorithm converges once
+    (``run``), then each group — configurations whose
+    :func:`repro.perf.batch.counts_cache_key` matches — shares one
+    Equations (3)-(8) expansion and is priced by a single vectorized
+    :func:`repro.arch.machine.fold_many` pass.  Any group that fails to
+    batch is re-priced point by point with the full retry/backoff/
+    isolation loop, so the observable results (reports, attempt counts,
+    error messages, checkpoint records) match the plain loop exactly.
+    """
+
+    run: AlgorithmRun
+    groups: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def build(
+        cls,
+        run: AlgorithmRun,
+        workload: Workload,
+        configs_by_index: Sequence[tuple[int, HyVEConfig]],
+    ) -> "BatchPlan":
+        from ..perf.batch import counts_cache_key
+
+        groups: dict[str, list[int]] = {}
+        for idx, config in configs_by_index:
+            groups.setdefault(
+                counts_cache_key(run, workload, config), []
+            ).append(idx)
+        return cls(
+            run=run,
+            groups=tuple(tuple(g) for g in groups.values()),
+        )
+
+    def evaluate(
+        self,
+        slots: Sequence["SweepPoint | HyVEConfig"],
+        workload: Workload,
+        algorithm_factory: Callable[[], EdgeCentricAlgorithm],
+        faults,
+        policy: SweepPolicy,
+        outcomes: dict[int, tuple[EnergyReport | None, str | None, int]],
+    ) -> None:
+        from ..perf.batch import scheduled_counts
+
+        tracer = get_tracer()
+        for group in self.groups:
+            configs = [slots[idx] for idx in group]
+            try:
+                with tracer.span("sweep_batch", points=len(group)):
+                    counts = scheduled_counts(
+                        self.run, workload, configs[0]
+                    )
+                    reports = fold_many(
+                        self.run, counts, workload, configs
+                    )
+            except Exception:
+                # The batched fold rejected the group; price its
+                # points individually (full retry semantics).
+                for idx in group:
+                    outcomes[idx] = _evaluate_point(
+                        slots[idx], algorithm_factory, workload,
+                        faults, replace(policy, isolate_errors=True),
+                    )
+                continue
+            for idx, report in zip(group, reports):
+                outcomes[idx] = (report, None, 1)
 
 
 def sweep(
@@ -335,11 +451,34 @@ def sweep(
             for idx in pending:
                 outcomes[idx] = futures[idx].result()
     else:
-        for idx in pending:
-            outcomes[idx] = _evaluate_point(
-                slots[idx], algorithm_factory, workload, faults,
-                replace(policy, isolate_errors=True),
-            )
+        plan: BatchPlan | None = None
+        batch_error: BaseException | None = None
+        if pending and _batchable(policy, faults):
+            try:
+                run = run_cached(algorithm_factory(), workload.graph)
+            except Exception as exc:
+                # The shared convergence is exactly the work the first
+                # pending point's first attempt would have done; charge
+                # the failure to that point's retry budget below.
+                batch_error = exc
+            else:
+                try:
+                    plan = BatchPlan.build(
+                        run, workload,
+                        [(idx, slots[idx]) for idx in pending],
+                    )
+                except Exception:
+                    plan = None  # un-batchable shape: plain loop
+        if plan is not None:
+            plan.evaluate(slots, workload, algorithm_factory, faults,
+                          policy, outcomes)
+        else:
+            for n, idx in enumerate(pending):
+                outcomes[idx] = _evaluate_point(
+                    slots[idx], algorithm_factory, workload, faults,
+                    replace(policy, isolate_errors=True),
+                    first_error=batch_error if n == 0 else None,
+                )
 
     # Pass 3 — assemble points in value order, appending the checkpoint
     # and enforcing strict-mode propagation deterministically.

@@ -104,7 +104,9 @@ def cmd_info(args: argparse.Namespace) -> int:
 def _print_cache_stats() -> None:
     from .perf.cache import get_run_cache
 
-    print(f"[run cache] {get_run_cache().stats.summary()}")
+    stats = get_run_cache().stats
+    print(f"[run cache] {stats.summary()}")
+    print(f"[counts cache] {stats.counts_summary()}")
 
 
 @contextlib.contextmanager
@@ -155,14 +157,26 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from .perf.batch import run_grid
+
     workload = load_workload(args)
     faults = load_faults(args)
     rows = []
     with _tracing(args.trace_out):
+        # The named accelerators share one convergence and (per counts
+        # key) one schedule expansion; price them as one grid.  CPU and
+        # GraphR models keep their own run paths.
+        acc_names = list(NAMED_CONFIGS)
+        grid = run_grid(make_algorithm(args.algorithm), workload,
+                        [NAMED_CONFIGS[n]() for n in acc_names],
+                        faults=faults)
+        batched = {n: r.report for n, r in zip(acc_names, grid)}
         for name in MACHINE_NAMES:
-            machine = build_machine(name, faults=faults)
-            report = machine.run(make_algorithm(args.algorithm),
-                                 workload).report
+            report = batched.get(name)
+            if report is None:
+                machine = build_machine(name, faults=faults)
+                report = machine.run(make_algorithm(args.algorithm),
+                                     workload).report
             rows.append((name, report.mteps_per_watt, report.total_energy,
                          report.time))
     rows.sort(key=lambda r: -r[1])
@@ -265,6 +279,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"memory entries: {info['memory_entries']} "
           f"(limit {info['memory_limit']})")
     print(f"session stats:  {cache.stats.summary()}")
+    print(f"counts stats:   {cache.stats.counts_summary()}")
     return 0
 
 

@@ -41,12 +41,22 @@ def run() -> ExperimentResult:
               "other configurations",
         headers=["Algorithm", "Dataset"] + list(MACHINE_ORDER),
     )
+    from ..perf.batch import run_grid
+
     machines = {name: build_machine(name) for name in MACHINE_ORDER}
+    # The five accelerator columns of a row share one convergence and
+    # (per counts key) one schedule expansion: price them as a grid.
+    acc_names = [n for n in MACHINE_ORDER if not n.startswith("CPU")]
+    acc_configs = [machines[n].config for n in acc_names]
     for algo_name, factory in CORE_ALGORITHM_FACTORIES.items():
         for dataset, workload in workloads().items():
             row: list = [algo_name, dataset]
+            grid = run_grid(factory(), workload, acc_configs)
+            batched = {n: r.report for n, r in zip(acc_names, grid)}
             for name in MACHINE_ORDER:
-                report = machines[name].run(factory(), workload).report
+                report = batched.get(name)
+                if report is None:
+                    report = machines[name].run(factory(), workload).report
                 row.append(report.mteps_per_watt)
             result.rows.append(row)
     return result

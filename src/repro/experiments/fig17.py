@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from ..arch.config import HyVEConfig, MemoryTechnology
-from ..arch.machine import AcceleratorMachine
 from ..memory.powergate import PowerGatingPolicy
 from .common import CORE_ALGORITHM_FACTORIES, ExperimentResult, workloads
 
@@ -41,11 +40,25 @@ def run() -> ExperimentResult:
             "main source of the overall savings"
         ),
     )
-    for config_name, config in configurations().items():
-        machine = AcceleratorMachine(config)
-        for algo_name, factory in CORE_ALGORITHM_FACTORIES.items():
-            for dataset, workload in workloads().items():
-                report = machine.run(factory(), workload).report
+    from ..perf.batch import run_grid
+
+    configs = configurations()
+    names = list(configs)
+    # Price all three configurations of one (algorithm, dataset) cell
+    # as a grid (SD and HyVE/opt group into two counts keys), then emit
+    # rows in the figure's config-major order.
+    reports: dict[tuple[str, str, str], object] = {}
+    for algo_name, factory in CORE_ALGORITHM_FACTORIES.items():
+        for dataset, workload in workloads().items():
+            grid = run_grid(
+                factory(), workload, [configs[n] for n in names]
+            )
+            for n, r in zip(names, grid):
+                reports[(n, algo_name, dataset)] = r.report
+    for config_name in names:
+        for algo_name in CORE_ALGORITHM_FACTORIES:
+            for dataset in workloads():
+                report = reports[(config_name, algo_name, dataset)]
                 shares = report.breakdown()
                 result.add(
                     config_name,
@@ -64,13 +77,18 @@ def memory_reduction() -> dict[str, float]:
 
     The paper reports 57.57% (HyVE) and 86.17% (opt).
     """
+    from ..perf.batch import run_grid
+
     configs = configurations()
-    machines = {k: AcceleratorMachine(v) for k, v in configs.items()}
+    names = list(configs)
     sums = {k: 0.0 for k in configs}
     for factory in CORE_ALGORITHM_FACTORIES.values():
         for workload in workloads().values():
-            for k, machine in machines.items():
-                sums[k] += machine.run(factory(), workload).report.memory_energy
+            grid = run_grid(
+                factory(), workload, [configs[n] for n in names]
+            )
+            for k, r in zip(names, grid):
+                sums[k] += r.report.memory_energy
     return {
         "HyVE": 100.0 * (1.0 - sums["HyVE"] / sums["SD"]),
         "opt": 100.0 * (1.0 - sums["opt"] / sums["SD"]),

@@ -33,6 +33,15 @@ ROUTER_ROTATIONS = "router_rotations"
 CACHE_HITS = "cache_hits"
 #: Run-cache misses (fresh convergences) observed by this process.
 CACHE_MISSES = "cache_misses"
+#: Schedule-counts cache hits (memory + disk): sweeps over device knobs
+#: reusing one Equations (3)-(8) expansion instead of recomputing it.
+COUNTS_CACHE_HITS = "counts_cache_hits"
+#: Schedule-counts cache misses (fresh ScheduleCounts computations).
+COUNTS_CACHE_MISSES = "counts_cache_misses"
+#: Configurations priced by the vectorized batch fold (fold_many).
+FOLD_MANY_CONFIGS = "fold_many_configs"
+#: Current number of entries in the scheduler's imbalance memo.
+IMBALANCE_CACHE_SIZE = "imbalance_cache_size"
 #: Sweep-point retry attempts beyond the first try.
 SWEEP_POINT_RETRIES = "sweep_point_retries"
 #: Vertex intervals fetched by the hybrid memory controller.

@@ -48,6 +48,14 @@ def _observe_lookup(hit: bool) -> None:
     name = obs_metrics.CACHE_HITS if hit else obs_metrics.CACHE_MISSES
     metrics.counter(name).add(1)
 
+
+def _observe_counts_lookup(hit: bool) -> None:
+    """Mirror a schedule-counts lookup into the metrics registry."""
+    metrics = obs_metrics.get_metrics()
+    name = (obs_metrics.COUNTS_CACHE_HITS if hit
+            else obs_metrics.COUNTS_CACHE_MISSES)
+    metrics.counter(name).add(1)
+
 #: Code-version salt baked into every cache key.  Bump when the
 #: executor or an algorithm changes in a result-affecting way.
 CACHE_SALT = "hyve-run-v1"
@@ -81,6 +89,11 @@ class CacheStats:
     bytes_read: int = 0
     bytes_written: int = 0
     errors: int = 0  # unreadable/corrupt disk entries (recomputed)
+    # Schedule-counts entries (the "simulate once, price many" memo).
+    counts_memory_hits: int = 0
+    counts_disk_hits: int = 0
+    counts_misses: int = 0
+    counts_stores: int = 0
 
     @property
     def hits(self) -> int:
@@ -89,6 +102,14 @@ class CacheStats:
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+    @property
+    def counts_hits(self) -> int:
+        return self.counts_memory_hits + self.counts_disk_hits
+
+    @property
+    def counts_lookups(self) -> int:
+        return self.counts_hits + self.counts_misses
 
     def to_dict(self) -> dict:
         return {
@@ -99,6 +120,10 @@ class CacheStats:
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
             "errors": self.errors,
+            "counts_memory_hits": self.counts_memory_hits,
+            "counts_disk_hits": self.counts_disk_hits,
+            "counts_misses": self.counts_misses,
+            "counts_stores": self.counts_stores,
         }
 
     def summary(self) -> str:
@@ -108,6 +133,15 @@ class CacheStats:
             f"({self.memory_hits} memory / {self.disk_hits} disk), "
             f"{self.misses} miss(es), "
             f"{self.bytes_read} B read, {self.bytes_written} B written"
+        )
+
+    def counts_summary(self) -> str:
+        """One line for the schedule-counts memo (CLI ``--verbose``)."""
+        return (
+            f"counts cache: {self.counts_hits} hit(s) "
+            f"({self.counts_memory_hits} memory / "
+            f"{self.counts_disk_hits} disk), "
+            f"{self.counts_misses} miss(es)"
         )
 
 
@@ -340,6 +374,70 @@ class RunCache:
         self._remember(key, value)
         return value
 
+    def get_or_counts(self, counts_key: str, compute) -> dict:
+        """Cached schedule-counts record (the Equations (3)-(8) expansion).
+
+        ``counts_key`` is the *content* key assembled by
+        :func:`repro.perf.batch.counts_cache_key` — graph fingerprint,
+        algorithm signature, partition count P, PU count N, the
+        data-sharing/on-chip/placement flags and the workload scale.
+        ``compute`` returns a JSON-ready dict of the
+        :class:`~repro.arch.scheduler.ScheduleCounts` fields; JSON
+        round-trips every int and float exactly, so a disk hit prices
+        bit-identically to a fresh computation.
+
+        Sweeps over device knobs (density, BPG timeout, cell bits, SRAM
+        technology) share one entry per counts key, which is the whole
+        point: simulate once, price many.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(counts_key.encode())
+        h.update(b"|")
+        h.update(self.salt.encode())
+        key = "counts-" + h.hexdigest()
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            self.stats.counts_memory_hits += 1
+            _observe_counts_lookup(hit=True)
+            return hit
+        path = (None if self.directory is None
+                else self.directory / f"{key}.json")
+        if path is not None and path.exists():
+            try:
+                raw = path.read_text()
+                record = json.loads(raw)["counts"]
+                if not isinstance(record, dict):
+                    raise ValueError("counts entry is not a record")
+                self.stats.counts_disk_hits += 1
+                self.stats.bytes_read += len(raw)
+                _observe_counts_lookup(hit=True)
+                self._remember(key, record)
+                return record
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                self.stats.errors += 1
+        self.stats.counts_misses += 1
+        _observe_counts_lookup(hit=False)
+        record = compute()
+        if path is not None:
+            payload = json.dumps(
+                {"key": counts_key, "salt": self.salt, "counts": record}
+            )
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    suffix=".json.tmp", dir=str(path.parent)
+                )
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+                self.stats.counts_stores += 1
+                self.stats.bytes_written += len(payload)
+            except OSError:
+                self.stats.errors += 1
+        self._remember(key, record)
+        return record
+
     def _remember(self, key: str, run) -> None:
         self._memory[key] = run
         self._memory.move_to_end(key)
@@ -467,7 +565,7 @@ class RunCache:
         self._memory.clear()
         removed = 0
         if disk and self.directory is not None and self.directory.exists():
-            for pattern in ("*.npz", "scalar-*.json"):
+            for pattern in ("*.npz", "scalar-*.json", "counts-*.json"):
                 for entry in self.directory.glob(pattern):
                     try:
                         entry.unlink()
@@ -481,7 +579,7 @@ class RunCache:
         files = 0
         disk_bytes = 0
         if self.directory is not None and self.directory.exists():
-            for pattern in ("*.npz", "scalar-*.json"):
+            for pattern in ("*.npz", "scalar-*.json", "counts-*.json"):
                 for entry in self.directory.glob(pattern):
                     try:
                         disk_bytes += entry.stat().st_size

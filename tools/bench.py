@@ -17,6 +17,15 @@ Two modes:
   ``--output`` as well, so CI can upload them as an artifact::
 
       python tools/bench.py --smoke --output BENCH_2.json
+
+* ``--scenario sweep`` — the simulate-once / price-many check: price a
+  32-point density x BPG-timeout grid with the pre-batching per-point
+  pipeline and with the batched evaluator (cold and warm memos), and
+  fail unless the batched cold pass beats the serial one by
+  ``--min-speedup``::
+
+      python tools/bench.py --scenario sweep --min-speedup 2 \\
+          --output BENCH_4.json
 """
 
 from __future__ import annotations
@@ -46,6 +55,25 @@ def run_bench(args: argparse.Namespace) -> int:
     path = write_bench(payload, args.output)
     print(f"wrote {path}: {len(payload['experiments'])} experiment(s), "
           f"total {payload['total_s']:.2f}s, jobs={args.jobs}")
+    return 0
+
+
+def run_sweep_scenario(args: argparse.Namespace) -> int:
+    from repro.perf.bench import bench_sweep_scenario, write_bench
+
+    payload = bench_sweep_scenario()
+    path = write_bench(payload, args.output)
+    print(f"sweep scenario [{payload['points']} points]: "
+          f"serial {payload['serial_s']:.3f}s, "
+          f"batch cold {payload['batch_cold_s']:.3f}s "
+          f"({payload['speedup_cold']:.2f}x), "
+          f"warm {payload['batch_warm_s']:.3f}s "
+          f"({payload['speedup_warm']:.2f}x); wrote {path}")
+    if payload["speedup_cold"] < args.min_speedup:
+        print(f"FAIL: batched cold sweep was not >= "
+              f"{args.min_speedup:.2f}x faster than the serial path",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -105,9 +133,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="payload path (default BENCH.json)")
     parser.add_argument("--smoke", action="store_true",
                         help="cold-vs-warm cache regression check")
+    parser.add_argument("--scenario", choices=["sweep"],
+                        help="timed scenario: 'sweep' prices a "
+                             "32-point density x BPG-timeout grid "
+                             "serially and batched (cold + warm)")
     parser.add_argument("--min-speedup", type=float, default=1.05,
-                        help="--smoke: minimum cold/warm ratio "
-                             "(default 1.05)")
+                        help="--smoke / --scenario sweep: minimum "
+                             "speedup ratio (default 1.05)")
     parser.add_argument("--baseline-total-s", type=float, default=None,
                         help="record a reference total (e.g. the "
                              "pre-optimization serial wall-clock) in "
@@ -117,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke(args)
+    if args.scenario == "sweep":
+        return run_sweep_scenario(args)
     return run_bench(args)
 
 
