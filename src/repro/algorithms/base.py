@@ -58,6 +58,15 @@ class EdgeCentricAlgorithm:
     #: Safety cap on iterations for convergence-driven algorithms.
     max_iterations: int = 10_000
 
+    #: Whether a vertex-centric executor may skip the out-edges of
+    #: vertices whose value did not change last iteration.  Sound for
+    #: idempotent min/label propagation (an unchanged source would
+    #: re-contribute the same value); unsound for accumulating
+    #: algorithms (PageRank, SpMV) whose iteration rebuilds every
+    #: destination from zero, so *every* edge must be re-applied even
+    #: at a fixpoint.
+    supports_frontier: bool = True
+
     # --- hooks -------------------------------------------------------------
 
     def transform_graph(self, graph: Graph) -> Graph:

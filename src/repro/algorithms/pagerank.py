@@ -29,6 +29,7 @@ class PageRank(EdgeCentricAlgorithm):
     name = "PR"
     vertex_bits = 64  # rank (32 b fixed-point) + out-degree (32 b)
     transient_attrs = ("_out_degrees",)  # derived from the graph per run
+    supports_frontier = False  # ranks accumulate from zero every sweep
 
     def __init__(
         self,

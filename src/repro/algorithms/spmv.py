@@ -21,6 +21,7 @@ class SpMV(EdgeCentricAlgorithm):
     name = "SpMV"
     vertex_bits = 32
     needs_weights = True
+    supports_frontier = False  # y accumulates from zero
 
     def __init__(self, x: np.ndarray | None = None) -> None:
         self._x = None if x is None else np.asarray(x, dtype=np.float64)

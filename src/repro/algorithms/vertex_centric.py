@@ -72,7 +72,8 @@ def run_vertex_centric(
 
     # Initially-active vertices: point-initialised algorithms start from
     # their single seed; everything else starts fully active.
-    if algorithm.initial_active(streamed) >= streamed.num_vertices:
+    if (not algorithm.supports_frontier
+            or algorithm.initial_active(streamed) >= streamed.num_vertices):
         active = np.ones(streamed.num_vertices, dtype=bool)
     else:
         uniques, inverse = np.unique(values, return_inverse=True)
@@ -102,7 +103,14 @@ def run_vertex_centric(
                 values, acc, src[sel], dst[sel], w, streamed
             )
         result = algorithm.iteration_end(values, acc, streamed, iterations)
-        active = _changed(values, result.values)
+        if algorithm.supports_frontier:
+            active = _changed(values, result.values)
+        else:
+            # Accumulating algorithms rebuild every destination from
+            # zero: an "unchanged" source still owes its contribution
+            # (a graph at its fixpoint — e.g. PR on a symmetric cycle —
+            # would otherwise lose all rank mass next sweep).
+            active = np.ones(streamed.num_vertices, dtype=bool)
         values = result.values
         iterations += 1
         if result.converged:

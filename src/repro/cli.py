@@ -13,6 +13,9 @@ Commands:
 * ``trace`` — run one experiment with span tracing enabled, write the
   JSONL trace, and print its per-phase time/energy attribution.
 * ``metrics`` — run one simulation and print the metrics registry.
+* ``verify`` — fuzz the differential-conformance oracles: random
+  graphs/configs through every redundant execution path, mismatches
+  shrunk and written as replayable repro files (docs/verification.md).
 
 ``run``, ``compare`` and ``experiment`` also accept ``--trace-out PATH``
 to record a trace of whatever they execute (see docs/observability.md).
@@ -29,6 +32,9 @@ Examples::
     python -m repro cache info
     python -m repro trace headline --trace-out trace.jsonl
     python -m repro metrics --algorithm pr --dataset YT --json
+    python -m repro verify --seed 0 --cases 50
+    python -m repro verify --list
+    python -m repro verify --replay tests/corpus/some-repro.json
 
 Operator errors (unknown names, unreadable graph files, malformed edge
 lists) print one ``error:`` line on stderr and exit with status 2.
@@ -263,6 +269,38 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import get_oracles, replay_file, run_verify
+
+    if args.list:
+        for oracle in get_oracles():
+            stride = (f" [every {oracle.stride} cases]"
+                      if oracle.stride > 1 else "")
+            print(f"{oracle.name}: {oracle.description}{stride}")
+        return 0
+    if args.replay:
+        failed = 0
+        for path in args.replay:
+            result = replay_file(path)
+            if result.ok:
+                print(f"{path}: PASS ({result.oracle} on "
+                      f"{result.case.describe()})")
+            else:
+                failed += 1
+                print(f"{path}: FAIL ({result.oracle})\n  {result.error}")
+        return 1 if failed else 0
+    summary = run_verify(
+        seed=args.seed,
+        cases=args.cases,
+        oracle_names=args.oracle or None,
+        failures_dir=args.failures_dir,
+        max_failures=args.max_failures,
+        shrink=not args.no_shrink,
+    )
+    print(summary.format())
+    return 0 if summary.ok else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from .perf.cache import get_run_cache
 
@@ -360,6 +398,34 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true",
                          help="print the snapshot as JSON")
 
+    verify = sub.add_parser(
+        "verify",
+        help="fuzz the differential-conformance oracles "
+             "(cross-engine identity, executor equivalence, "
+             "metamorphic invariants)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="case-generation seed (default 0; same "
+                             "seed => same cases)")
+    verify.add_argument("--cases", type=int, default=50,
+                        help="number of random cases (default 50)")
+    verify.add_argument("--oracle", action="append", metavar="NAME",
+                        help="run only this oracle (repeatable; "
+                             "default: all; see --list)")
+    verify.add_argument("--failures-dir", metavar="DIR",
+                        default="verify-failures",
+                        help="where shrunk repro files are written "
+                             "(default verify-failures/)")
+    verify.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many distinct failures "
+                             "(default 5)")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimising them")
+    verify.add_argument("--list", action="store_true",
+                        help="list the registered oracles and exit")
+    verify.add_argument("--replay", nargs="+", metavar="FILE",
+                        help="replay repro file(s) instead of fuzzing; "
+                             "exits 1 if any still fails")
+
     cache = sub.add_parser("cache",
                            help="inspect or clear the persistent run "
                                 "cache")
@@ -379,6 +445,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": cmd_cache,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
+        "verify": cmd_verify,
     }
     try:
         return handlers[args.command](args)

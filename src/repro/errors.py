@@ -39,3 +39,9 @@ class FaultError(ReproError):
 class SweepPointError(ReproError):
     """One design-space point failed to evaluate (timeout, device-model
     error...); carries the underlying cause as ``__cause__``."""
+
+
+class VerificationError(ReproError):
+    """A differential-conformance oracle found a mismatch between two
+    execution paths that promise identical results (see
+    :mod:`repro.verify`), or a repro file could not be replayed."""

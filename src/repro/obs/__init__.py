@@ -29,6 +29,9 @@ from .metrics import (
     INTERVAL_FETCHES,
     ROUTER_ROTATIONS,
     SWEEP_POINT_RETRIES,
+    VERIFY_FAILURES,
+    VERIFY_ORACLE_RUNS,
+    VERIFY_SHRINK_EVALS,
     Counter,
     Gauge,
     Histogram,
@@ -88,6 +91,9 @@ __all__ = [
     "TRACE_SCHEMA",
     "TraceError",
     "Tracer",
+    "VERIFY_FAILURES",
+    "VERIFY_ORACLE_RUNS",
+    "VERIFY_SHRINK_EVALS",
     "emit_report",
     "fold_records",
     "format_attribution",

@@ -48,6 +48,12 @@ SWEEP_POINT_RETRIES = "sweep_point_retries"
 INTERVAL_FETCHES = "interval_fetches"
 #: Algorithm convergence sweeps executed (iterations histogram source).
 CONVERGENCE_ITERATIONS = "convergence_iterations"
+#: Differential-conformance oracle evaluations executed (repro verify).
+VERIFY_ORACLE_RUNS = "verify_oracle_runs"
+#: Oracle evaluations that found a cross-path mismatch.
+VERIFY_FAILURES = "verify_failures"
+#: Candidate evaluations spent shrinking failing verify cases.
+VERIFY_SHRINK_EVALS = "verify_shrink_evals"
 
 
 class MetricsError(ReproError):

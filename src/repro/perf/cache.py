@@ -25,6 +25,7 @@ directory defaults to ``$REPRO_CACHE_DIR``, falling back to
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -614,3 +615,23 @@ def set_run_cache(cache: RunCache | None) -> None:
     """Replace the process-wide cache (``None`` resets to lazy default)."""
     global _DEFAULT_CACHE
     _DEFAULT_CACHE = cache
+
+
+@contextlib.contextmanager
+def temporary_run_cache(directory: str | Path | None = ""):
+    """Swap in a scratch process-wide cache for the duration.
+
+    The default ``directory=""`` gives a memory-only cache, which is
+    what the differential-conformance harness wants: every evaluation
+    starts cold (nothing leaks in from a developer's warm disk cache)
+    and leaves nothing behind.  Pass a path for a disk-backed scratch
+    cache.  The previous cache — including the not-yet-created lazy
+    default — is restored on exit.
+    """
+    previous = _DEFAULT_CACHE
+    cache = RunCache(directory=directory)
+    set_run_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_run_cache(previous)

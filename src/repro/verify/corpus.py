@@ -1,0 +1,108 @@
+"""Replayable repro files and the committed regression corpus.
+
+When the harness finds (and shrinks) a failing case, it serialises a
+**repro file** — a small JSON record of the oracle name, the shrunk
+:class:`~repro.verify.cases.Case`, and the failure message — under the
+failures directory.  A repro file is self-contained: replaying it
+rebuilds the exact graph/config/workload from the case fields and
+re-runs the named oracle.
+
+``tests/corpus/`` holds the committed corpus: repro files of
+historical (or deliberately injected, see tests/test_verify.py)
+failures whose execution paths are now guaranteed by the suite —
+``tests/test_verify_corpus.py`` replays every file on every run and
+fails if any of them regresses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import VerificationError
+from .cases import Case
+
+#: Schema tag every repro file must carry.
+REPRO_SCHEMA = "hyve-verify-repro-v1"
+
+
+def repro_record(oracle_name: str, case: Case, error: str,
+                 shrink_evals: int = 0, note: str = "") -> dict:
+    """Assemble the JSON payload for one shrunk failure."""
+    record = {
+        "schema": REPRO_SCHEMA,
+        "oracle": oracle_name,
+        "case": case.to_dict(),
+        "error": error,
+        "shrink_evals": shrink_evals,
+    }
+    if note:
+        record["note"] = note
+    return record
+
+
+def write_repro(path: str | Path, record: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def load_repro(path: str | Path) -> tuple[str, Case, dict]:
+    """Parse and validate one repro file -> (oracle name, case, record)."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise VerificationError(
+            f"unreadable repro file {path}: {exc}"
+        ) from exc
+    if not isinstance(record, dict) or record.get("schema") != REPRO_SCHEMA:
+        raise VerificationError(
+            f"{path} is not a {REPRO_SCHEMA} repro file "
+            f"(schema={record.get('schema') if isinstance(record, dict) else None!r})"
+        )
+    for key in ("oracle", "case"):
+        if key not in record:
+            raise VerificationError(f"{path} is missing the {key!r} field")
+    return record["oracle"], Case.from_dict(record["case"]), record
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying one repro file."""
+
+    path: Path
+    oracle: str
+    case: Case
+    #: ``None`` when the oracle passes now (the failure is fixed /
+    #: guarded); otherwise the fresh failure message.
+    error: str | None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def replay_file(path: str | Path) -> ReplayResult:
+    """Re-run the repro file's oracle on its case."""
+    from .harness import run_oracle_on_case
+    from .oracles import get_oracles
+
+    oracle_name, case, _record = load_repro(path)
+    oracle = get_oracles([oracle_name])[0]
+    return ReplayResult(
+        path=Path(path),
+        oracle=oracle_name,
+        case=case,
+        error=run_oracle_on_case(oracle, case),
+    )
+
+
+def corpus_files(directory: str | Path) -> list[Path]:
+    """Sorted repro files under a corpus directory."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))

@@ -1,0 +1,206 @@
+"""The differential-conformance driver behind ``repro verify``.
+
+:func:`run_verify` generates K seeded cases, runs every registered
+oracle on each (honouring per-oracle strides), shrinks whatever fails,
+and writes replayable repro files.  Each (oracle, case) evaluation runs
+under a fresh memory-only run cache (:func:`temporary_run_cache`), so
+evaluations are independent, hermetic, and reproduce identically when
+replayed from a repro file in another process.
+
+Observability: the run is wrapped in ``verify.run`` / ``verify.case`` /
+``verify.oracle`` / ``verify.shrink`` spans, and the registry counts
+``verify_oracle_runs`` / ``verify_failures`` / ``verify_shrink_evals``
+(docs/observability.md has the taxonomy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ReproError, VerificationError
+from ..obs import metrics as obs_metrics
+from ..obs.trace import get_tracer
+from ..perf.cache import temporary_run_cache
+from .cases import Case, generate_cases
+from .corpus import repro_record, write_repro
+from .oracles import Oracle, get_oracles
+from .shrink import shrink_case
+
+#: Stop fuzzing after this many distinct failures: every further case
+#: would likely shrink to the same defect, and shrinking is the
+#: expensive part.
+DEFAULT_MAX_FAILURES = 5
+DEFAULT_FAILURES_DIR = "verify-failures"
+
+
+def run_oracle_on_case(oracle: Oracle, case: Case) -> str | None:
+    """One hermetic oracle evaluation -> failure message or ``None``.
+
+    A :class:`VerificationError` is the oracle's verdict; any other
+    library error means the *case* is invalid (e.g. a shrink produced
+    an inconsistent config) and is reported as such, distinct from a
+    conformance failure.
+    """
+    tracer = get_tracer()
+    metrics = obs_metrics.get_metrics()
+    metrics.counter(obs_metrics.VERIFY_ORACLE_RUNS).add(1)
+    with tracer.span("verify.oracle", oracle=oracle.name,
+                     case=case.describe()):
+        with temporary_run_cache(""):
+            try:
+                oracle.fn(case)
+            except VerificationError as exc:
+                metrics.counter(obs_metrics.VERIFY_FAILURES).add(1)
+                return str(exc)
+    return None
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One shrunk, serialised conformance failure."""
+
+    oracle: str
+    case: Case
+    original: Case
+    error: str
+    shrink_evals: int
+    path: Path | None
+
+
+@dataclass
+class OracleStats:
+    name: str
+    description: str
+    stride: int
+    cases_run: int = 0
+    failures: int = 0
+
+
+@dataclass
+class VerifySummary:
+    """Outcome of one ``run_verify`` invocation."""
+
+    seed: int
+    cases: int
+    stats: list[OracleStats] = field(default_factory=list)
+    failures: list[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def evaluations(self) -> int:
+        return sum(s.cases_run for s in self.stats)
+
+    def format(self) -> str:
+        """Human-readable result table plus failure details."""
+        width = max([len(s.name) for s in self.stats] or [6])
+        lines = [f"{'oracle':{width}s} {'cases':>6s} {'failures':>9s}"]
+        lines.append("-" * (width + 17))
+        for s in self.stats:
+            lines.append(
+                f"{s.name:{width}s} {s.cases_run:6d} {s.failures:9d}"
+            )
+        lines.append("-" * (width + 17))
+        verdict = "OK" if self.ok else "FAIL"
+        lines.append(
+            f"{verdict}: {self.evaluations} oracle evaluation(s) over "
+            f"{self.cases} case(s), seed {self.seed}, "
+            f"{len(self.failures)} failure(s)"
+        )
+        for failure in self.failures:
+            lines.append("")
+            lines.append(f"[{failure.oracle}] {failure.case.describe()}")
+            lines.append(f"  {failure.error}")
+            lines.append(
+                f"  shrunk from: {failure.original.describe()} "
+                f"({failure.shrink_evals} shrink evaluation(s))"
+            )
+            if failure.path is not None:
+                lines.append(f"  repro written to {failure.path}")
+        return "\n".join(lines)
+
+
+def _shrink_failure(oracle: Oracle, case: Case) -> tuple[Case, str, int]:
+    """Shrink a failing case; returns (case, error, evaluations)."""
+    tracer = get_tracer()
+    metrics = obs_metrics.get_metrics()
+    errors: dict[Case, str] = {}
+
+    def still_fails(candidate: Case) -> bool:
+        try:
+            error = run_oracle_on_case(oracle, candidate)
+        except ReproError:
+            # The shrink produced an invalid case (e.g. a root outside
+            # a collapsed graph); reject it rather than adopt it.
+            return False
+        if error is not None:
+            errors[candidate] = error
+        return error is not None
+
+    with tracer.span("verify.shrink", oracle=oracle.name):
+        shrunk, evals = shrink_case(case, still_fails)
+    metrics.counter(obs_metrics.VERIFY_SHRINK_EVALS).add(evals)
+    error = errors.get(shrunk)
+    if error is None:
+        # Nothing smaller failed: re-derive the message on the original.
+        error = run_oracle_on_case(oracle, case) or "(not reproduced)"
+    return shrunk, error, evals
+
+
+def run_verify(
+    seed: int = 0,
+    cases: int = 50,
+    oracle_names: list[str] | None = None,
+    failures_dir: str | Path | None = DEFAULT_FAILURES_DIR,
+    max_failures: int = DEFAULT_MAX_FAILURES,
+    shrink: bool = True,
+) -> VerifySummary:
+    """Fuzz ``cases`` seeded cases through the registered oracles.
+
+    ``failures_dir=None`` disables repro-file writing (failures are
+    still shrunk and reported in the summary).
+    """
+    oracles = get_oracles(oracle_names)
+    generated = generate_cases(seed, cases)
+    summary = VerifySummary(seed=seed, cases=len(generated))
+    stats = {o.name: OracleStats(o.name, o.description, o.stride)
+             for o in oracles}
+    summary.stats = list(stats.values())
+    tracer = get_tracer()
+    with tracer.span("verify.run", seed=seed, cases=len(generated)):
+        for index, case in enumerate(generated):
+            if len(summary.failures) >= max_failures:
+                break
+            with tracer.span("verify.case", index=index):
+                for oracle in oracles:
+                    if index % oracle.stride:
+                        continue
+                    stat = stats[oracle.name]
+                    stat.cases_run += 1
+                    error = run_oracle_on_case(oracle, case)
+                    if error is None:
+                        continue
+                    stat.failures += 1
+                    shrunk, evals = case, 0
+                    if shrink:
+                        shrunk, error, evals = _shrink_failure(
+                            oracle, case
+                        )
+                    path = None
+                    if failures_dir is not None:
+                        path = write_repro(
+                            Path(failures_dir)
+                            / f"{oracle.name}-seed{seed}-case{index}.json",
+                            repro_record(oracle.name, shrunk, error,
+                                         shrink_evals=evals),
+                        )
+                    summary.failures.append(Failure(
+                        oracle=oracle.name, case=shrunk, original=case,
+                        error=error, shrink_evals=evals, path=path,
+                    ))
+                    if len(summary.failures) >= max_failures:
+                        break
+    return summary

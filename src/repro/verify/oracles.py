@@ -1,0 +1,395 @@
+"""The oracle registry: every cross-path promise, checked on demand.
+
+An **oracle** takes a :class:`~repro.verify.cases.Case` and raises
+:class:`~repro.errors.VerificationError` when two execution paths that
+promise identical results disagree.  Three families are registered:
+
+* *cross-engine report identity* — serial ``AcceleratorMachine.run``
+  vs ``fold_many`` vs ``run_grid`` vs a cache-warm replay vs the
+  (batched / unbatched / ``max_workers=N``) sweep drivers, compared
+  field-for-field including the energy-dict insertion order;
+* *algorithm-output equivalence* — the edge-centric vectorized,
+  block-major and vertex-centric executors must agree on the value
+  vector (bit-exact for the min-based algorithms, 1e-12 relative for
+  the sum-based ones, matching tests/test_blocked_identity.py);
+* *metamorphic invariants* — vertex-relabeling permutation invariance,
+  interval-count ``P`` invariance of algorithm results, exact traffic
+  linearity under power-of-two ``edge_scale``, and zero-fault-profile
+  pass-through.
+
+The equality policy is deliberately the strictest one the codebase
+already commits to elsewhere; an oracle failure is a broken promise,
+not a tolerance call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..algorithms.runner import run_blocked, run_cached, run_vectorized
+from ..algorithms.vertex_centric import run_vertex_centric
+from ..arch.config import Workload
+from ..arch.machine import AcceleratorMachine, fold_many
+from ..arch.report import EnergyReport
+from ..arch.scheduler import ScheduleCounts
+from ..arch.sweep import SweepPolicy, points_to_csv, sweep
+from ..errors import VerificationError
+from ..faults import FaultProfile
+from ..perf.batch import run_grid, scheduled_counts
+from .cases import Case
+
+#: Algorithms whose executors are bit-identical everywhere (min-based
+#: updates commute exactly); the sum-based rest carry accumulation-order
+#: differences between executors bounded by SUM_RTOL.
+EXACT_ALGORITHMS = frozenset({"bfs", "cc", "sssp"})
+#: Cross-executor tolerance for sum-based algorithms (PR, SpMV) — the
+#: policy of tests/test_blocked_identity.py.
+SUM_RTOL = 1e-12
+SUM_ATOL = 1e-12
+#: Permutation invariance reorders *within* accumulation bins (the
+#: dangling-mass sum, scatter segments), so sum-based algorithms get a
+#: slightly looser bound there.
+PERM_RTOL = 1e-9
+PERM_ATOL = 1e-12
+
+#: The config field the sweep oracles vary: pricing-only (all points
+#: share one counts key), so it exercises the batched fold hardest.
+SWEEP_FIELD = "region_hit_rate"
+SWEEP_VALUES = (0.25, 0.75, 1.0)
+
+#: ScheduleCounts fields that must double exactly when the reported
+#: edge count doubles, and fields that must not move at all.  Any field
+#: outside both sets must still be exactly x1 or x2 (the oracle rejects
+#: anything in between).
+LINEAR_IN_EDGE_SCALE = ("edges_total", "edge_stream_bits", "pu_ops")
+EDGE_SCALE_INVARIANT = (
+    "iterations", "num_pus", "num_intervals", "vertices",
+    "vertex_bits", "edge_bits", "steps_total",
+)
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A registered conformance check.
+
+    ``stride`` runs the oracle on every stride-th case only — the
+    escape hatch for oracles whose setup cost (process pools) would
+    otherwise dominate a CI fuzz-smoke run.
+    """
+
+    name: str
+    description: str
+    fn: Callable[[Case], None]
+    stride: int = 1
+
+
+ORACLES: dict[str, Oracle] = {}
+
+
+def oracle(name: str, description: str, stride: int = 1):
+    """Register a conformance oracle under ``name``."""
+    if stride < 1:
+        raise VerificationError(f"oracle stride must be >= 1: {stride}")
+
+    def register(fn: Callable[[Case], None]) -> Callable[[Case], None]:
+        if name in ORACLES:
+            raise VerificationError(f"duplicate oracle name {name!r}")
+        ORACLES[name] = Oracle(name, description, fn, stride)
+        return fn
+
+    return register
+
+
+def get_oracles(names: list[str] | None = None) -> list[Oracle]:
+    """Resolve a name selection (``None``: every registered oracle)."""
+    if names is None:
+        return list(ORACLES.values())
+    unknown = [n for n in names if n not in ORACLES]
+    if unknown:
+        raise VerificationError(
+            f"unknown oracle(s): {', '.join(unknown)}; "
+            f"known: {', '.join(ORACLES)}"
+        )
+    return [ORACLES[n] for n in names]
+
+
+# --- comparison helpers ------------------------------------------------------
+
+def fail(message: str) -> None:
+    raise VerificationError(message)
+
+
+def assert_reports_identical(
+    a: EnergyReport, b: EnergyReport, context: str,
+    ignore_machine_label: bool = False,
+) -> None:
+    """Field-for-field bit identity, including energy insertion order."""
+    diffs: list[str] = []
+    scalar_fields = ["machine", "algorithm", "graph", "edges_traversed",
+                     "iterations", "time"]
+    if ignore_machine_label:
+        scalar_fields.remove("machine")
+    for name in scalar_fields:
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            diffs.append(f"{name}: {va!r} != {vb!r}")
+    if list(a.energy) != list(b.energy):
+        diffs.append(
+            f"energy component order: {list(a.energy)} != {list(b.energy)}"
+        )
+    else:
+        for component, va in a.energy.items():
+            vb = b.energy[component]
+            if va != vb:
+                diffs.append(f"energy[{component}]: {va!r} != {vb!r}")
+    if diffs:
+        fail(f"{context}: reports differ — " + "; ".join(diffs))
+
+
+def assert_values_match(
+    case: Case, a: np.ndarray, b: np.ndarray, context: str,
+    rtol: float = SUM_RTOL, atol: float = SUM_ATOL,
+) -> None:
+    """Value-vector agreement under the repo's per-algorithm policy."""
+    if a.shape != b.shape:
+        fail(f"{context}: value shapes differ {a.shape} vs {b.shape}")
+    if case.algorithm in EXACT_ALGORITHMS:
+        mismatches = np.nonzero(a != b)[0]
+        if mismatches.size:
+            v = int(mismatches[0])
+            fail(f"{context}: {mismatches.size} exact mismatch(es), "
+                 f"first at vertex {v}: {a[v]!r} != {b[v]!r}")
+    elif not np.allclose(a, b, rtol=rtol, atol=atol):
+        delta = np.abs(a - b)
+        v = int(np.argmax(delta))
+        fail(f"{context}: sum-based values disagree beyond "
+             f"rtol={rtol}/atol={atol}, worst at vertex {v}: "
+             f"{a[v]!r} vs {b[v]!r}")
+
+
+@dataclass(frozen=True)
+class _CaseAlgorithmFactory:
+    """Picklable algorithm factory (sweep workers rebuild from the
+    case, which serialises; a closure over a Graph would not)."""
+
+    case: Case
+
+    def __call__(self):
+        return self.case.make_algorithm(self.case.graph())
+
+
+def _partition(values: np.ndarray) -> set[frozenset[int]]:
+    """Vertex partition induced by equal labels (CC canonical form)."""
+    groups: dict[float, list[int]] = {}
+    for v, label in enumerate(values.tolist()):
+        groups.setdefault(label, []).append(v)
+    return {frozenset(g) for g in groups.values()}
+
+
+# --- cross-engine report identity --------------------------------------------
+
+@oracle(
+    "engine-identity",
+    "serial run == cache-warm replay == fold_many == run_grid, "
+    "field-for-field",
+)
+def engine_report_identity(case: Case) -> None:
+    graph = case.graph()
+    workload = case.workload(graph)
+    config = case.config()
+    serial = AcceleratorMachine(config).run(
+        case.make_algorithm(graph), workload
+    )
+    warm = AcceleratorMachine(config).run(
+        case.make_algorithm(graph), workload
+    )
+    assert_reports_identical(serial.report, warm.report,
+                             "cache-warm replay")
+    counts = scheduled_counts(serial.run, workload, config)
+    folded = fold_many(serial.run, counts, workload, [config])[0]
+    assert_reports_identical(serial.report, folded, "fold_many")
+    gridded = run_grid(case.make_algorithm(graph), workload, [config])[0]
+    assert_reports_identical(serial.report, gridded.report, "run_grid")
+
+
+@oracle(
+    "sweep-identity",
+    "batched sweep == per-point sweep == direct machine runs, "
+    "byte-identical CSV",
+)
+def sweep_path_identity(case: Case) -> None:
+    graph = case.graph()
+    workload = case.workload(graph)
+    config = case.config()
+    factory = _CaseAlgorithmFactory(case)
+    batched = sweep(SWEEP_FIELD, list(SWEEP_VALUES), factory, workload,
+                    config, SweepPolicy(batch=True))
+    per_point = sweep(SWEEP_FIELD, list(SWEEP_VALUES), factory, workload,
+                      config, SweepPolicy(batch=False))
+    csv_batched = points_to_csv(batched)
+    csv_serial = points_to_csv(per_point)
+    if csv_batched != csv_serial:
+        fail("sweep CSV differs between batched and per-point paths:\n"
+             f"batched:\n{csv_batched}\nper-point:\n{csv_serial}")
+    for point, value in zip(batched, SWEEP_VALUES):
+        direct_config = dataclasses.replace(
+            config, **{SWEEP_FIELD: value,
+                       "label": f"{SWEEP_FIELD}={value}"})
+        direct = AcceleratorMachine(direct_config).run(factory(), workload)
+        assert_reports_identical(
+            direct.report, point.report,
+            f"sweep point {SWEEP_FIELD}={value} vs direct run",
+        )
+
+
+@oracle(
+    "parallel-sweep",
+    "max_workers=2 sweep reproduces the serial sweep byte-for-byte",
+    stride=10,
+)
+def parallel_sweep_identity(case: Case) -> None:
+    graph = case.graph()
+    workload = case.workload(graph)
+    config = case.config()
+    factory = _CaseAlgorithmFactory(case)
+    serial = sweep(SWEEP_FIELD, list(SWEEP_VALUES), factory, workload,
+                   config, SweepPolicy(max_workers=1))
+    parallel = sweep(SWEEP_FIELD, list(SWEEP_VALUES), factory, workload,
+                     config, SweepPolicy(max_workers=2))
+    csv_serial = points_to_csv(serial)
+    csv_parallel = points_to_csv(parallel)
+    if csv_serial != csv_parallel:
+        fail("sweep CSV differs between serial and max_workers=2 paths:\n"
+             f"serial:\n{csv_serial}\nparallel:\n{csv_parallel}")
+
+
+# --- algorithm-output equivalence --------------------------------------------
+
+@oracle(
+    "algorithm-equivalence",
+    "vectorized == block-major == vertex-centric executor outputs",
+)
+def algorithm_equivalence(case: Case) -> None:
+    graph = case.graph()
+    vec = run_vectorized(case.make_algorithm(graph), graph)
+    p = 4 if graph.num_vertices >= 4 else 2
+    blocked = run_blocked(case.make_algorithm(graph), graph,
+                          num_intervals=p, num_pus=2)
+    if vec.iterations != blocked.iterations:
+        fail(f"blocked executor iterated {blocked.iterations}x, "
+             f"vectorized {vec.iterations}x")
+    assert_values_match(case, vec.values, blocked.values,
+                        "vectorized vs block-major")
+    vc = run_vertex_centric(case.make_algorithm(graph), graph)
+    assert_values_match(case, vec.values, vc.run.values,
+                        "edge-centric vs vertex-centric",
+                        rtol=PERM_RTOL, atol=PERM_ATOL)
+
+
+# --- metamorphic invariants --------------------------------------------------
+
+@oracle(
+    "permutation-invariance",
+    "relabeling vertices permutes the outputs and nothing else",
+)
+def permutation_invariance(case: Case) -> None:
+    graph = case.graph()
+    nv = graph.num_vertices
+    rng = np.random.default_rng(case.seed ^ 0x5EED)
+    perm = rng.permutation(nv)
+    mapped = graph.relabel(perm)
+    base = run_vectorized(case.make_algorithm(graph), graph).values
+    mapped_root = int(perm[case.root % nv])
+    permuted = run_vectorized(
+        case.make_algorithm(graph, root=mapped_root), mapped
+    ).values
+    if case.algorithm == "cc":
+        # CC labels are representative vertex *ids*: not equivariant as
+        # values, but the induced component partition must map exactly.
+        expected = {frozenset(int(perm[v]) for v in comp)
+                    for comp in _partition(base)}
+        actual = _partition(permuted)
+        if expected != actual:
+            fail(f"CC component partition changed under relabeling: "
+                 f"{len(expected)} vs {len(actual)} components")
+        return
+    # permuted[perm[v]] is vertex v's value in the relabelled run.
+    assert_values_match(case, base, permuted[perm],
+                        "relabelled run (mapped back)",
+                        rtol=PERM_RTOL, atol=PERM_ATOL)
+
+
+@oracle(
+    "interval-invariance",
+    "algorithm outputs do not depend on the partition grid (P, N)",
+)
+def interval_count_invariance(case: Case) -> None:
+    graph = case.graph()
+    vec = run_vectorized(case.make_algorithm(graph), graph)
+    grids = [(p, n) for p, n in ((2, 1), (4, 2), (8, 4))
+             if p <= graph.num_vertices]
+    for p, n in grids:
+        blocked = run_blocked(case.make_algorithm(graph), graph,
+                              num_intervals=p, num_pus=n)
+        if blocked.iterations != vec.iterations:
+            fail(f"P={p},N={n}: iterated {blocked.iterations}x, "
+                 f"vectorized {vec.iterations}x")
+        assert_values_match(case, vec.values, blocked.values,
+                            f"P={p},N={n} vs vectorized")
+
+
+@oracle(
+    "scale-linearity",
+    "doubling reported_edges exactly doubles the edge-traffic counts "
+    "and moves nothing else",
+)
+def scale_linearity(case: Case) -> None:
+    graph = case.graph()
+    config = case.config()
+    base_workload = case.workload(graph)
+    doubled_workload = Workload(
+        graph,
+        reported_vertices=base_workload.reported_vertices,
+        reported_edges=base_workload.reported_edges * 2,
+    )
+    run = run_cached(case.make_algorithm(graph), graph)
+    base = ScheduleCounts.compute(run, base_workload, config)
+    doubled = ScheduleCounts.compute(run, doubled_workload, config)
+    for f in dataclasses.fields(ScheduleCounts):
+        va = getattr(base, f.name)
+        vb = getattr(doubled, f.name)
+        if f.name in LINEAR_IN_EDGE_SCALE:
+            if vb != va * 2:
+                fail(f"{f.name} must double exactly under 2x edge "
+                     f"scale: {va!r} -> {vb!r}")
+        elif f.name in EDGE_SCALE_INVARIANT:
+            if vb != va:
+                fail(f"{f.name} must not move under edge scale: "
+                     f"{va!r} -> {vb!r}")
+        elif vb != va and vb != va * 2:
+            fail(f"{f.name} is neither invariant nor exactly doubled "
+                 f"under 2x edge scale: {va!r} -> {vb!r}")
+
+
+@oracle(
+    "zero-fault",
+    "an all-zero fault profile is bit-identical to no profile at all",
+)
+def zero_fault_passthrough(case: Case) -> None:
+    graph = case.graph()
+    workload = case.workload(graph)
+    config = case.config()
+    plain = AcceleratorMachine(config).run(
+        case.make_algorithm(graph), workload
+    )
+    zeroed = AcceleratorMachine(
+        config, faults=FaultProfile.zero(seed=case.seed)
+    ).run(case.make_algorithm(graph), workload)
+    assert_reports_identical(plain.report, zeroed.report,
+                             "zero-fault profile")
+    assert_values_match(case, plain.run.values, zeroed.run.values,
+                        "zero-fault profile values")

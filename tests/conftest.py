@@ -19,6 +19,23 @@ import pytest
 from repro.arch.config import Workload
 from repro.graph import Graph, erdos_renyi, rmat
 
+#: The suite-wide RNG seed.  Tests that need their own stream derive it
+#: through :func:`seeded_rng` (or the ``rng`` fixture) instead of
+#: calling ``np.random.default_rng`` with ad-hoc literals, so every
+#: random input in the suite is reachable from one place.
+TEST_SEED = 2026
+
+
+def seeded_rng(seed: int = TEST_SEED) -> np.random.Generator:
+    """The one sanctioned way to build a test RNG."""
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh suite-seeded generator per test."""
+    return seeded_rng()
+
 
 @pytest.fixture
 def tiny_graph() -> Graph:
@@ -49,7 +66,9 @@ def random_graph() -> Graph:
 
 @pytest.fixture
 def weighted_graph(small_rmat) -> Graph:
-    rng = np.random.default_rng(5)
+    # Seed 5 (not TEST_SEED) keeps the historical weight stream the
+    # golden expectations were derived from.
+    rng = seeded_rng(5)
     return small_rmat.with_weights(
         rng.uniform(1.0, 9.0, size=small_rmat.num_edges)
     )

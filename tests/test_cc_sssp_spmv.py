@@ -94,8 +94,7 @@ class TestSpMV:
         expected = weighted_graph.to_csr().T @ x
         np.testing.assert_allclose(run.values, expected)
 
-    def test_custom_input_vector(self, weighted_graph):
-        rng = np.random.default_rng(0)
+    def test_custom_input_vector(self, weighted_graph, rng):
         x = rng.normal(size=weighted_graph.num_vertices)
         run = run_vectorized(SpMV(x), weighted_graph)
         expected = weighted_graph.to_csr().T @ x

@@ -1,0 +1,126 @@
+"""Incremental updates vs full rebuild (the dynamic-store oracle).
+
+Replaying a seeded ``generate_requests`` stream against a
+:class:`DynamicGraphStore` must leave the store equivalent to a graph
+rebuilt from scratch out of the same rewritten edge multiset — same
+edge multiset, same vertex count, same invalidated vertices, and the
+same algorithm results on the exported graph.  This is the
+differential-conformance idea of ``repro verify`` applied to the
+Section 5 dynamic layer; the complementary hypothesis state machine in
+test_dynamic_properties.py covers single operations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ConnectedComponents, PageRank, run_vectorized
+from repro.dynamic import DynamicGraphStore
+from repro.dynamic.updates import (
+    RequestKind,
+    apply_requests,
+    generate_requests,
+)
+from repro.graph import Graph, erdos_renyi
+
+
+def _mirror_replay(graph: Graph, requests):
+    """Replay the stream on a plain multiset + liveness model."""
+    edges = Counter(zip(graph.src.tolist(), graph.dst.tolist()))
+    num_vertices = graph.num_vertices
+    dead: set[int] = set()
+    for req in requests:
+        if req.kind is RequestKind.ADD_EDGE:
+            edges[(req.src, req.dst)] += 1
+        elif req.kind is RequestKind.DELETE_EDGE:
+            edges[(req.src, req.dst)] -= 1
+            if not edges[(req.src, req.dst)]:
+                del edges[(req.src, req.dst)]
+        elif req.kind is RequestKind.ADD_VERTEX:
+            num_vertices += 1
+        else:
+            # delete_vertex invalidates; incident edges stay (Section 5).
+            dead.add(req.src)
+    return edges, num_vertices, dead
+
+
+def _rebuild(edges: Counter, num_vertices: int) -> Graph:
+    """Full re-preprocessing: a fresh Graph from the edge multiset."""
+    pairs = [e for e, count in sorted(edges.items()) for _ in range(count)]
+    return Graph.from_edges(num_vertices, pairs, name="rebuilt")
+
+
+def _edge_multiset(graph: Graph) -> Counter:
+    return Counter(zip(graph.src.tolist(), graph.dst.tolist()))
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("count", [200, 1000])
+def test_incremental_matches_full_rebuild(seed, count):
+    base = erdos_renyi(48, 180, seed=seed, name="dyn-base")
+    store = DynamicGraphStore(base, num_intervals=8)
+    requests = generate_requests(base, count, seed=seed)
+
+    apply_requests(store, requests)
+    edges, num_vertices, dead = _mirror_replay(base, requests)
+
+    assert store.num_vertices == num_vertices
+    assert store.num_edges == sum(edges.values())
+    assert sorted(store.invalid_vertices()) == sorted(dead)
+    assert _edge_multiset(store.to_graph()) == edges
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", [5, 6])
+def test_algorithms_agree_after_updates(seed):
+    """The exported graph computes like the from-scratch rebuild.
+
+    CC labels are minimum vertex ids, so they must match exactly; PR
+    sums float contributions in block order vs insertion order, so it
+    matches to accumulation tolerance.
+    """
+    base = erdos_renyi(40, 160, seed=seed, name="dyn-algo")
+    store = DynamicGraphStore(base, num_intervals=8)
+    requests = generate_requests(base, 400, seed=seed)
+    apply_requests(store, requests)
+    edges, num_vertices, _ = _mirror_replay(base, requests)
+
+    exported = store.to_graph()
+    rebuilt = _rebuild(edges, num_vertices)
+    assert exported.num_vertices == rebuilt.num_vertices
+
+    cc_inc = run_vectorized(ConnectedComponents(), exported)
+    cc_full = run_vectorized(ConnectedComponents(), rebuilt)
+    np.testing.assert_array_equal(cc_inc.values, cc_full.values)
+
+    pr_inc = run_vectorized(PageRank(), exported)
+    pr_full = run_vectorized(PageRank(), rebuilt)
+    np.testing.assert_allclose(pr_inc.values, pr_full.values,
+                               rtol=1e-12, atol=1e-15)
+
+
+@pytest.mark.fuzz
+def test_rebuild_survives_repartition():
+    """Vertex growth past the slack capacity forces repartitions; the
+    store must still equal the rebuilt graph afterwards."""
+    base = erdos_renyi(16, 60, seed=9, name="dyn-grow")
+    store = DynamicGraphStore(base, num_intervals=4, slack=0.25)
+    requests = generate_requests(
+        base, 300, seed=9,
+        mix={"add_edge": 0.5, "add_vertex": 0.5},
+    )
+    apply_requests(store, requests)
+    edges, num_vertices, dead = _mirror_replay(base, requests)
+
+    assert store.stats.repartitions > 0
+    assert not dead
+    assert store.num_vertices == num_vertices
+    assert _edge_multiset(store.to_graph()) == edges
+    cc_inc = run_vectorized(ConnectedComponents(), store.to_graph())
+    cc_full = run_vectorized(ConnectedComponents(),
+                             _rebuild(edges, num_vertices))
+    np.testing.assert_array_equal(cc_inc.values, cc_full.values)

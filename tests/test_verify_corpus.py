@@ -1,0 +1,36 @@
+"""Replay the committed repro corpus (tests/corpus/*.json).
+
+Every file is a shrunk, historical (or deliberately injected) failure
+whose execution path the suite now guarantees — see
+docs/verification.md for the corpus workflow.  A file that fails here
+means a previously fixed defect has regressed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import REPRO_SCHEMA, corpus_files, load_repro, replay_file
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = corpus_files(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"expected committed repro files under {CORPUS_DIR}"
+
+
+@pytest.mark.corpus
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_file_replays_green(path):
+    oracle, case, record = load_repro(path)
+    assert record["schema"] == REPRO_SCHEMA
+    assert record.get("note"), f"{path.name} should document its defect"
+    result = replay_file(path)
+    assert result.ok, (
+        f"regression: {oracle} fails again on {case.describe()}:\n"
+        f"  {result.error}\n"
+        f"original defect: {record['note']}"
+    )

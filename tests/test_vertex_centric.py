@@ -77,8 +77,7 @@ class TestExpandRanges:
         out = _expand_ranges(np.array([4]), np.array([4]))
         assert out.tolist() == [4, 5, 6, 7]
 
-    def test_matches_naive_expansion(self):
-        rng = np.random.default_rng(3)
+    def test_matches_naive_expansion(self, rng):
         starts = rng.integers(0, 100, size=20)
         lengths = rng.integers(0, 6, size=20)
         expected = np.concatenate(

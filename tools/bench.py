@@ -41,6 +41,15 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+# CI regression floors (referenced by .github/workflows/ci.yml).  Both
+# are deliberately far below the speedups recorded in the committed
+# BENCH payloads (cache-warm reruns and batched sweeps measure >= 2x on
+# a quiet machine) so shared-runner noise cannot flake the gate, while
+# a genuine regression — a cache that stopped caching, a batcher that
+# fell back to per-point pricing — still fails it.
+SMOKE_MIN_SPEEDUP = 1.05
+SWEEP_MIN_SPEEDUP = 1.4
+
 
 def run_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import bench_experiments, write_bench
@@ -61,7 +70,10 @@ def run_bench(args: argparse.Namespace) -> int:
 def run_sweep_scenario(args: argparse.Namespace) -> int:
     from repro.perf.bench import bench_sweep_scenario, write_bench
 
+    min_speedup = (SWEEP_MIN_SPEEDUP if args.min_speedup is None
+                   else args.min_speedup)
     payload = bench_sweep_scenario()
+    payload["min_speedup"] = min_speedup
     path = write_bench(payload, args.output)
     print(f"sweep scenario [{payload['points']} points]: "
           f"serial {payload['serial_s']:.3f}s, "
@@ -69,9 +81,9 @@ def run_sweep_scenario(args: argparse.Namespace) -> int:
           f"({payload['speedup_cold']:.2f}x), "
           f"warm {payload['batch_warm_s']:.3f}s "
           f"({payload['speedup_warm']:.2f}x); wrote {path}")
-    if payload["speedup_cold"] < args.min_speedup:
+    if payload["speedup_cold"] < min_speedup:
         print(f"FAIL: batched cold sweep was not >= "
-              f"{args.min_speedup:.2f}x faster than the serial path",
+              f"{min_speedup:.2f}x faster than the serial path",
               file=sys.stderr)
         return 1
     return 0
@@ -96,6 +108,8 @@ def run_smoke(args: argparse.Namespace) -> int:
     env["REPRO_CACHE_DIR"] = cache_dir
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
 
+    min_speedup = (SMOKE_MIN_SPEEDUP if args.min_speedup is None
+                   else args.min_speedup)
     experiment = args.experiments[0] if args.experiments else "headline"
     cold = _timed_subprocess(experiment, env)
     warm = _timed_subprocess(experiment, env)
@@ -108,13 +122,13 @@ def run_smoke(args: argparse.Namespace) -> int:
         "cold_s": cold,
         "warm_s": warm,
         "speedup": speedup,
-        "min_speedup": args.min_speedup,
+        "min_speedup": min_speedup,
     }
     path = write_bench(payload, args.output)
     print(f"smoke [{experiment}]: cold {cold:.2f}s, warm {warm:.2f}s, "
-          f"speedup {speedup:.2f}x (need >= {args.min_speedup:.2f}x); "
+          f"speedup {speedup:.2f}x (need >= {min_speedup:.2f}x); "
           f"wrote {path}")
-    if speedup < args.min_speedup:
+    if speedup < min_speedup:
         print("FAIL: cache-warm run was not measurably faster",
               file=sys.stderr)
         return 1
@@ -137,9 +151,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="timed scenario: 'sweep' prices a "
                              "32-point density x BPG-timeout grid "
                              "serially and batched (cold + warm)")
-    parser.add_argument("--min-speedup", type=float, default=1.05,
+    parser.add_argument("--min-speedup", type=float, default=None,
                         help="--smoke / --scenario sweep: minimum "
-                             "speedup ratio (default 1.05)")
+                             "speedup ratio (defaults to "
+                             f"SMOKE_MIN_SPEEDUP={SMOKE_MIN_SPEEDUP} / "
+                             f"SWEEP_MIN_SPEEDUP={SWEEP_MIN_SPEEDUP})")
     parser.add_argument("--baseline-total-s", type=float, default=None,
                         help="record a reference total (e.g. the "
                              "pre-optimization serial wall-clock) in "
