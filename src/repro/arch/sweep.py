@@ -15,6 +15,15 @@ isolated so one failing configuration yields a structured
 :class:`SweepPoint` carrying the error instead of killing the sweep,
 and checkpointed to a JSONL file so an interrupted sweep resumes
 without re-evaluating finished points.
+
+Parallel sweeps are additionally *supervised*: a worker process dying
+(OOM kill, segfault, chaos injection) breaks the whole
+``ProcessPoolExecutor``, so the parent detects the break, respawns the
+pool, re-dispatches only the points whose results were lost (charging
+each a lost attempt), and after :data:`MAX_POOL_FAILURES` consecutive
+pool deaths degrades to in-parent serial evaluation — a sweep finishes
+with structured results no matter how workers die.  See
+docs/robustness.md for the supervision policy.
 """
 
 from __future__ import annotations
@@ -22,6 +31,8 @@ from __future__ import annotations
 import concurrent.futures
 import json
 import time
+import warnings
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -35,6 +46,11 @@ from ..obs.trace import get_tracer
 from .config import HyVEConfig, Workload
 from .machine import AcceleratorMachine, fold_many
 from .report import EnergyReport
+
+#: Consecutive broken-pool events a parallel sweep absorbs by
+#: respawning before it gives up on process isolation and finishes the
+#: remaining points serially in the parent.
+MAX_POOL_FAILURES = 2
 
 
 @dataclass(frozen=True)
@@ -66,8 +82,11 @@ class SweepPolicy:
             inside each worker, the checkpoint is appended by the parent
             in deterministic order, and the workers warm the shared
             on-disk run cache (:mod:`repro.perf.cache`) as they go.
-            Requires a picklable ``algorithm_factory`` (a class or a
-            module-level function, not a lambda).
+            The pool is supervised: a dying worker triggers a respawn
+            and re-dispatch of only the lost points, degrading to
+            serial evaluation after :data:`MAX_POOL_FAILURES` broken
+            pools.  Requires a picklable ``algorithm_factory`` (a
+            class or a module-level function, not a lambda).
         batch: evaluate the serial path simulate-once / price-many: the
             pending points are grouped by shared schedule-counts key
             (:class:`BatchPlan`) and each group is priced by one
@@ -148,23 +167,42 @@ def _point_key(field: str, value: Any) -> str:
 
 
 def _load_checkpoint(path: Path) -> dict[str, dict]:
-    """Read a JSONL checkpoint; later lines win for the same key."""
+    """Read a JSONL checkpoint; later lines win for the same key.
+
+    A process killed mid-append (SIGKILL, power loss) leaves exactly
+    one truncated *trailing* line — recognisable because the append
+    never reached its terminating newline.  That one shape is tolerated
+    with a warning: the point it described is simply re-evaluated.
+    Anything else — corruption before the tail, or a complete
+    (newline-terminated) line that does not parse — cannot come from a
+    torn append and raises :class:`ConfigError`.
+    """
     entries: dict[str, dict] = {}
     if not path.exists():
         return entries
-    with path.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
+    text = path.read_text(encoding="utf-8")
+    torn_tail = bool(text) and not text.endswith("\n")
+    numbered = [(lineno, line.strip())
+                for lineno, line in enumerate(text.splitlines(), start=1)]
+    numbered = [(lineno, line) for lineno, line in numbered if line]
+    last_lineno = numbered[-1][0] if numbered else None
+    for lineno, line in numbered:
+        try:
+            record = json.loads(line)
+            entries[record["key"]] = record
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            if lineno == last_lineno and torn_tail:
+                warnings.warn(
+                    f"{path}:{lineno}: dropping truncated trailing "
+                    f"checkpoint line (torn append; the point will be "
+                    f"re-evaluated): {exc}",
+                    stacklevel=2,
+                )
                 continue
-            try:
-                record = json.loads(line)
-                entries[record["key"]] = record
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                raise ConfigError(
-                    f"{path}:{lineno}: corrupt sweep checkpoint line "
-                    f"({exc})"
-                ) from exc
+            raise ConfigError(
+                f"{path}:{lineno}: corrupt sweep checkpoint line "
+                f"({exc})"
+            ) from exc
     return entries
 
 
@@ -222,6 +260,13 @@ def _evaluate_point(
     convergence failing); the loop then starts directly at the first
     *retry*, with its usual backoff and retry accounting.
     """
+    from ..faults.chaos import get_chaos
+
+    chaos = get_chaos()
+    if chaos is not None:
+        # Only ever fires in a pool worker (PID-guarded): the sweep
+        # supervisor and serial sweeps are never killed.
+        chaos.maybe_kill_worker()
     last_error: BaseException | None = first_error
     attempts = 1 if first_error is not None else 0
     tracer = get_tracer()
@@ -262,6 +307,92 @@ def _evaluate_point(
         f"sweep point {config.label!r} failed after "
         f"{attempts} attempt(s): {message}"
     ) from last_error
+
+
+def _evaluate_parallel(
+    slots: Sequence["SweepPoint | HyVEConfig"],
+    pending: Sequence[int],
+    algorithm_factory: Callable[[], EdgeCentricAlgorithm],
+    workload: Workload,
+    faults,
+    policy: SweepPolicy,
+    outcomes: dict[int, tuple[EnergyReport | None, str | None, int]],
+) -> None:
+    """Dispatch pending points over a supervised process pool.
+
+    A dying worker (OOM kill, segfault, chaos) poisons the whole
+    ``ProcessPoolExecutor`` — every outstanding future raises
+    :class:`BrokenProcessPool`.  The supervisor harvests whatever
+    results completed before the break, respawns the pool, and
+    re-dispatches only the lost points, charging each one lost attempt
+    so ``SweepPoint.attempts`` reflects the real cost.  After
+    :data:`MAX_POOL_FAILURES` consecutive broken pools it stops
+    trusting process isolation and evaluates the remainder serially in
+    the parent, which cannot be killed by a worker fault.
+    """
+    # Workers always isolate; the parent re-raises in deterministic
+    # order in pass 3, so strict sweeps fail on the same point they
+    # would have serially.  Each worker process shares the on-disk run
+    # cache, warming it for the others.
+    worker_policy = replace(policy, isolate_errors=True,
+                            checkpoint_path=None, max_workers=1)
+    metrics = obs_metrics.get_metrics()
+    remaining = list(pending)
+    lost_attempts = {idx: 0 for idx in remaining}
+    pool_failures = 0
+    while remaining:
+        if pool_failures >= MAX_POOL_FAILURES:
+            metrics.counter(obs_metrics.SWEEP_SERIAL_FALLBACKS).add(1)
+            for idx in remaining:
+                report, error, attempts = _evaluate_point(
+                    slots[idx], algorithm_factory, workload, faults,
+                    worker_policy,
+                )
+                outcomes[idx] = (report, error,
+                                 attempts + lost_attempts[idx])
+            return
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(policy.max_workers, len(remaining))
+        )
+        lost: list[int] = []
+        try:
+            try:
+                futures = {
+                    idx: pool.submit(
+                        _evaluate_point, slots[idx], algorithm_factory,
+                        workload, faults, worker_policy,
+                    )
+                    for idx in remaining
+                }
+            except BrokenProcessPool:
+                # The pool broke during dispatch: everything not yet
+                # submitted (and everything submitted) is lost.
+                lost = list(remaining)
+            else:
+                for idx in remaining:
+                    try:
+                        outcomes[idx] = futures[idx].result()
+                    except BrokenProcessPool:
+                        # This point's worker died (or the pool was
+                        # already broken when its turn came).  Keep
+                        # harvesting: futures that completed before the
+                        # break still hold real results.
+                        lost.append(idx)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if not lost:
+            break
+        pool_failures += 1
+        for idx in lost:
+            lost_attempts[idx] += 1
+        if pool_failures < MAX_POOL_FAILURES:
+            metrics.counter(obs_metrics.SWEEP_POOL_RESPAWNS).add(1)
+        remaining = lost
+    for idx in pending:
+        if lost_attempts[idx] and idx in outcomes:
+            report, error, attempts = outcomes[idx]
+            outcomes[idx] = (report, error,
+                             attempts + lost_attempts[idx])
 
 
 def _batchable(policy: SweepPolicy, faults) -> bool:
@@ -432,24 +563,8 @@ def sweep(
     # Pass 2 — evaluate pending points, serially or over a process pool.
     outcomes: dict[int, tuple[EnergyReport | None, str | None, int]] = {}
     if policy.max_workers > 1 and len(pending) > 1:
-        # Workers always isolate; the parent re-raises in deterministic
-        # order below, so strict sweeps fail on the same point they
-        # would have serially.  Each worker process shares the on-disk
-        # run cache, warming it for the others.
-        worker_policy = replace(policy, isolate_errors=True,
-                                checkpoint_path=None, max_workers=1)
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(policy.max_workers, len(pending))
-        ) as pool:
-            futures = {
-                idx: pool.submit(
-                    _evaluate_point, slots[idx], algorithm_factory,
-                    workload, faults, worker_policy,
-                )
-                for idx in pending
-            }
-            for idx in pending:
-                outcomes[idx] = futures[idx].result()
+        _evaluate_parallel(slots, pending, algorithm_factory, workload,
+                           faults, policy, outcomes)
     else:
         plan: BatchPlan | None = None
         batch_error: BaseException | None = None

@@ -302,6 +302,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
+    from .errors import StoreError
     from .perf.cache import get_run_cache
 
     cache = get_run_cache()
@@ -309,11 +310,43 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear(disk=True)
         print(f"removed {removed} cached run(s)")
         return 0
+    if args.action == "migrate":
+        try:
+            report = cache.migrate()
+        except StoreError as exc:
+            print(f"migrate failed: {exc}", file=sys.stderr)
+            return 1
+        print(report.format())
+        return 0
+    if args.action == "verify":
+        try:
+            report = cache.verify_store()
+        except StoreError as exc:
+            print(f"verify failed: {exc}", file=sys.stderr)
+            return 1
+        print(report.format())
+        return 0 if report.clean else 1
+    if args.action == "vacuum":
+        try:
+            result = cache.vacuum()
+        except StoreError as exc:
+            print(f"vacuum failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"dropped {result['quarantine_dropped']} quarantined "
+              f"row(s); {result['bytes_before']:,} B -> "
+              f"{result['bytes_after']:,} B")
+        return 0
     info = cache.info()
     print(f"directory:      {info['directory'] or '(disk cache disabled)'}")
+    print(f"backend:        {info['backend'] or '(none)'}")
     print(f"salt:           {info['salt']}")
-    print(f"disk entries:   {info['disk_entries']}")
-    print(f"disk bytes:     {info['disk_bytes']:,}")
+    print(f"disk entries:   {info['disk_entries']}"
+          + (f" (+{info['legacy_files']} unmigrated legacy file(s))"
+             if info['legacy_files'] else ""))
+    print(f"disk bytes:     {info['disk_bytes']:,}"
+          + (f" (budget {info['max_bytes']:,})"
+             if info['max_bytes'] else ""))
+    print(f"quarantined:    {info['quarantined']}")
     print(f"memory entries: {info['memory_entries']} "
           f"(limit {info['memory_limit']})")
     print(f"session stats:  {cache.stats.summary()}")
@@ -427,11 +460,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "exits 1 if any still fails")
 
     cache = sub.add_parser("cache",
-                           help="inspect or clear the persistent run "
-                                "cache")
-    cache.add_argument("action", choices=("info", "clear"),
+                           help="inspect or maintain the persistent run "
+                                "cache (see docs/robustness.md)")
+    cache.add_argument("action",
+                       choices=("info", "clear", "migrate", "verify",
+                                "vacuum"),
                        help="info: show location/size/stats; "
-                            "clear: delete all cached runs")
+                            "clear: delete all cached runs; "
+                            "migrate: adopt legacy file-per-entry "
+                            "caches into the SQLite store; "
+                            "verify: integrity-scan the store "
+                            "(exit 1 if anything was quarantined); "
+                            "vacuum: drop quarantined rows and "
+                            "compact the database")
     return parser
 
 

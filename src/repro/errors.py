@@ -45,3 +45,13 @@ class VerificationError(ReproError):
     """A differential-conformance oracle found a mismatch between two
     execution paths that promise identical results (see
     :mod:`repro.verify`), or a repro file could not be replayed."""
+
+
+class StoreError(ReproError):
+    """The durable result store (:mod:`repro.perf.store`) cannot satisfy
+    a request — unopenable database, schema mismatch, invalid budget."""
+
+
+class ChaosError(ReproError):
+    """Invalid infrastructure-chaos configuration (rates outside [0, 1],
+    unknown profile name; see :mod:`repro.faults.chaos`)."""

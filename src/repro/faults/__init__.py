@@ -16,8 +16,23 @@ Entry points: named profiles in :data:`FAULT_PROFILES`
 :class:`FaultReport` tallying what was injected, corrected and paid
 for.  The subsystem is documented in docs/api.md (API surface) and
 docs/architecture.md (mechanisms and costs).
+
+:mod:`repro.faults.chaos` extends the same discipline to the
+*infrastructure* the reproduction runs on (the SQLite result store,
+single-flight locks, process-pool workers): seedable torn writes, bit
+flips, stale locks, slow I/O and killed workers, with an all-zero
+profile guaranteed to be an exact pass-through.  See docs/robustness.md.
 """
 
+from .chaos import (
+    CHAOS_PROFILES,
+    ChaosInjector,
+    ChaosProfile,
+    chaos_context,
+    get_chaos,
+    make_chaos_profile,
+    set_chaos,
+)
 from ..memory.ecc import (
     SECDED_CHECK_BITS,
     SECDED_DATA_BITS,
@@ -41,11 +56,18 @@ from .resilience import (
 )
 
 __all__ = [
+    "CHAOS_PROFILES",
+    "ChaosInjector",
+    "ChaosProfile",
     "FAULT_PROFILES",
     "FaultInjector",
     "FaultProfile",
     "FaultReport",
     "BankSparingPlan",
+    "chaos_context",
+    "get_chaos",
+    "make_chaos_profile",
+    "set_chaos",
     "SECDED_CHECK_BITS",
     "SECDED_DATA_BITS",
     "SECDEDDevice",

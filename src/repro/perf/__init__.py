@@ -3,22 +3,26 @@
 This package holds the pieces that make the reproduction *fast* without
 changing any reproduced number:
 
-* :mod:`repro.perf.cache` — a bounded in-memory LRU backed by an
-  on-disk, content-addressed store for converged
+* :mod:`repro.perf.cache` — a bounded in-memory LRU backed by a
+  crash-safe, content-addressed disk store for converged
   :class:`~repro.algorithms.runner.AlgorithmRun` objects, so fresh
   processes (the CLI, benchmarks, sweep workers) skip re-convergence.
+* :mod:`repro.perf.store` — the disk level itself: one WAL-mode SQLite
+  database per cache directory with checksummed entries, provenance
+  columns, LRU size budgeting and quarantine-on-corruption.
 * :mod:`repro.perf.bench` — a wall-clock harness that times experiment
   drivers and records a ``BENCH_*.json`` perf trajectory for future
   changes to regress against.
 
 The disk store's location is controlled by ``$REPRO_CACHE_DIR`` (then
-``$XDG_CACHE_HOME/hyve-repro``, then ``~/.cache/hyve-repro``); the CLI
-surfaces it via ``repro cache info|clear`` and warms it under
+``$XDG_CACHE_HOME/hyve-repro``, then ``~/.cache/hyve-repro``) and its
+size budget by ``$REPRO_CACHE_MAX_BYTES``; the CLI surfaces it via
+``repro cache info|clear|migrate|verify|vacuum`` and warms it under
 ``repro experiment --jobs N``.  Cache lookups are observable: every
 hit/miss increments the ``cache_hits``/``cache_misses`` counters of
 :mod:`repro.obs.metrics`.  Layout and invalidation rules are documented
-in docs/performance.md; the observability story in
-docs/observability.md.
+in docs/performance.md; the durability model in docs/robustness.md; the
+observability story in docs/observability.md.
 """
 
 from .cache import (
@@ -27,15 +31,29 @@ from .cache import (
     default_cache_dir,
     get_run_cache,
     set_run_cache,
+    temporary_run_cache,
 )
 from .bench import bench_experiments, write_bench
+from .store import (
+    MigrationReport,
+    SQLiteStore,
+    VerifyReport,
+    clean_orphan_tmp,
+    payload_checksum,
+)
 
 __all__ = [
     "CacheStats",
+    "MigrationReport",
     "RunCache",
+    "SQLiteStore",
+    "VerifyReport",
     "bench_experiments",
+    "clean_orphan_tmp",
     "default_cache_dir",
     "get_run_cache",
+    "payload_checksum",
     "set_run_cache",
+    "temporary_run_cache",
     "write_bench",
 ]

@@ -7,40 +7,55 @@ cached at two levels:
 
 * a bounded in-memory LRU (object identity preserved — two lookups in
   one process return the *same* :class:`AlgorithmRun`), and
-* an on-disk npz store keyed on ``(Graph.fingerprint(), algorithm
-  signature, code-version salt)``, so the CLI, the benchmarks, sweeps
-  and ``run_all`` skip re-convergence across processes.
+* a crash-safe SQLite store (:mod:`repro.perf.store`) keyed on
+  ``(Graph.fingerprint(), algorithm signature, code-version salt)``, so
+  the CLI, the benchmarks, sweeps and ``run_all`` skip re-convergence
+  across processes.
 
-The disk layout is one ``<key>.npz`` per entry under the cache
-directory, holding the values array, the per-iteration activity trace
-and a JSON metadata record.  Writes are atomic (tmp file +
-``os.replace``), so concurrent sweep workers can warm the same store.
+The disk level is one WAL-mode ``store.sqlite`` per cache directory:
+entries are checksummed payloads (npz bytes for runs, JSON for scalars
+and schedule counts) with provenance columns, verified on every read —
+a corrupt entry is quarantined and recomputed, never served.  Legacy
+file-per-entry ``*.npz`` / ``*.json`` caches (pre-store layouts) are
+still read as a fallback and adopted into the store on first touch;
+``repro cache migrate`` performs the one-shot bulk migration.  The
+durability model is documented in docs/robustness.md.
 
 The key embeds :data:`CACHE_SALT`; bump it whenever an executor change
 alters results, which invalidates every stale entry at once.  The
 directory defaults to ``$REPRO_CACHE_DIR``, falling back to
 ``~/.cache/hyve-repro`` (honouring ``$XDG_CACHE_HOME``); a repo-local
 ``.repro_cache/`` is one ``REPRO_CACHE_DIR=.repro_cache`` away.
+``$REPRO_CACHE_MAX_BYTES`` bounds the store size (LRU eviction).
 """
 
 from __future__ import annotations
 
 import contextlib
 import hashlib
+import io
 import json
 import os
-import tempfile
+import sqlite3
 import time
+import zipfile
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from ..algorithms.base import EdgeCentricAlgorithm
 from ..algorithms.runner import AlgorithmRun, run_vectorized
+from ..errors import StoreError
 from ..graph.graph import Graph
 from ..obs import metrics as obs_metrics
+from ..obs.trace import get_tracer
+from .store import MigrationReport, SQLiteStore, VerifyReport, clean_orphan_tmp
+
+#: Errors that mean "the disk level misbehaved"; every disk operation
+#: degrades to compute-and-carry-on when one of these surfaces.
+_STORE_ERRORS = (OSError, sqlite3.Error, StoreError)
 
 
 def _observe_lookup(hit: bool) -> None:
@@ -64,6 +79,10 @@ CACHE_SALT = "hyve-run-v1"
 #: Default bound on in-memory entries.
 DEFAULT_MAX_ENTRIES = 256
 
+#: Glob patterns of the legacy file-per-entry layout (still readable,
+#: migrated by ``repro cache migrate``).
+LEGACY_PATTERNS = ("*.npz", "scalar-*.json", "counts-*.json")
+
 
 def default_cache_dir() -> Path:
     """Resolve the on-disk store location.
@@ -77,6 +96,32 @@ def default_cache_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
     return base / "hyve-repro"
+
+
+def default_max_bytes() -> int | None:
+    """Size budget from ``$REPRO_CACHE_MAX_BYTES`` (unset: unbounded)."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError as exc:
+        raise StoreError(
+            f"REPRO_CACHE_MAX_BYTES must be an integer byte count: {env!r}"
+        ) from exc
+    return value if value > 0 else None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # Permission denied and friends: some process owns the PID.
+        return True
+    return True
 
 
 @dataclass
@@ -147,7 +192,7 @@ class CacheStats:
 
 
 class RunCache:
-    """Two-level (memory LRU + disk) cache of :class:`AlgorithmRun`.
+    """Two-level (memory LRU + SQLite store) cache of :class:`AlgorithmRun`.
 
     Args:
         directory: on-disk store location; ``None`` resolves via
@@ -155,6 +200,8 @@ class RunCache:
             disk level entirely (memory-only cache).
         max_entries: in-memory LRU bound.
         salt: code-version salt mixed into every key.
+        max_bytes: disk-store size budget (LRU eviction); ``None``
+            reads ``$REPRO_CACHE_MAX_BYTES`` (unset: unbounded).
     """
 
     def __init__(
@@ -162,6 +209,7 @@ class RunCache:
         directory: str | Path | None = None,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         salt: str = CACHE_SALT,
+        max_bytes: int | None = None,
     ) -> None:
         if directory is None:
             self.directory: Path | None = default_cache_dir()
@@ -171,12 +219,81 @@ class RunCache:
             self.directory = Path(directory).expanduser()
         self.max_entries = max(int(max_entries), 1)
         self.salt = salt
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else default_max_bytes())
         self.stats = CacheStats()
         #: Longest a process waits for a peer's in-flight computation of
         #: the same entry before computing it itself (see
         #: :meth:`_singleflight`).
         self.singleflight_timeout = 30.0
         self._memory: OrderedDict[str, AlgorithmRun] = OrderedDict()
+        self._store_obj: SQLiteStore | None = None
+        self._store_failed = False
+
+    # --- disk level plumbing ---------------------------------------------
+
+    def _disk(self) -> SQLiteStore | None:
+        """The SQLite store, opened lazily; a failed open degrades the
+        cache to memory-only for this instance's lifetime."""
+        if self.directory is None or self._store_failed:
+            return None
+        if self._store_obj is None:
+            try:
+                self._store_obj = SQLiteStore(
+                    self.directory, max_bytes=self.max_bytes,
+                    salt=self.salt,
+                )
+            except _STORE_ERRORS:
+                self._store_failed = True
+                self.stats.errors += 1
+                return None
+        return self._store_obj
+
+    def _disk_get(self, key: str, kind: str,
+                  legacy_name: str | None = None) -> bytes | None:
+        """Store lookup with transparent legacy-file fallback.
+
+        A legacy hit is adopted into the store (the file is left in
+        place; ``repro cache migrate`` removes it), so repeat lookups
+        come from SQLite.
+        """
+        store = self._disk()
+        if store is not None:
+            try:
+                payload = store.get(key)
+            except _STORE_ERRORS:
+                self.stats.errors += 1
+                payload = None
+            if payload is not None:
+                return payload
+        if legacy_name is None or self.directory is None:
+            return None
+        legacy = self.directory / legacy_name
+        if not legacy.exists():
+            return None
+        try:
+            payload = legacy.read_bytes()
+        except OSError:
+            self.stats.errors += 1
+            return None
+        if store is not None:
+            try:
+                store.put(key, payload, kind=kind)
+            except _STORE_ERRORS:
+                self.stats.errors += 1
+        return payload
+
+    def _disk_put(self, key: str, payload: bytes, kind: str) -> bool:
+        store = self._disk()
+        if store is None:
+            return False
+        try:
+            store.put(key, payload, kind=kind)
+            return True
+        except _STORE_ERRORS:
+            # A read-only or full filesystem degrades to memory-only.
+            self.stats.errors += 1
+            return False
 
     # --- keys ------------------------------------------------------------
 
@@ -202,10 +319,10 @@ class RunCache:
         h.update(kind.encode())
         return h.hexdigest()
 
-    def _path(self, key: str) -> Path | None:
+    def _lock_path(self, key: str) -> Path | None:
         if self.directory is None:
             return None
-        return self.directory / f"{key}.npz"
+        return self.directory / f"{key}.lock"
 
     # --- main entry ------------------------------------------------------
 
@@ -238,7 +355,7 @@ class RunCache:
                 peer = self._load(key)
                 return None if peer is None else peer[0]
 
-            run = self._singleflight(self._path(key), try_load, compute)
+            run = self._singleflight(key, try_load, compute)
         self._remember(key, run)
         return run
 
@@ -301,7 +418,7 @@ class RunCache:
                 except KeyError:
                     return None
 
-            vc = self._singleflight(self._path(key), try_load, compute)
+            vc = self._singleflight(key, try_load, compute)
         self._remember(key, vc)
         return vc
 
@@ -309,8 +426,8 @@ class RunCache:
         """Cached scalar graph statistic (imbalance, block counts, ...).
 
         Keyed on ``(graph content, name, salt)`` and stored as a tiny
-        JSON file, so statistics that cost an O(E) pass are computed by
-        one process and read back by every other (sweep workers,
+        JSON payload, so statistics that cost an O(E) pass are computed
+        by one process and read back by every other (sweep workers,
         ``--jobs`` experiment runners, fresh CLI invocations).
         """
         h = hashlib.blake2b(digest_size=16)
@@ -326,52 +443,41 @@ class RunCache:
             self.stats.memory_hits += 1
             _observe_lookup(hit=True)
             return hit
-        path = (None if self.directory is None
-                else self.directory / f"{key}.json")
-        if path is not None and path.exists():
+
+        def read_scalar() -> float | None:
+            payload = self._disk_get(key, kind="scalar",
+                                     legacy_name=f"{key}.json")
+            if payload is None:
+                return None
             try:
-                raw = path.read_text()
-                value = float(json.loads(raw)["value"])
-                self.stats.disk_hits += 1
-                self.stats.bytes_read += len(raw)
-                _observe_lookup(hit=True)
-                self._remember(key, value)
-                return value
-            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                value = float(json.loads(payload.decode("utf-8"))["value"])
+            except (ValueError, KeyError, UnicodeDecodeError,
+                    json.JSONDecodeError):
                 self.stats.errors += 1
+                return None
+            self.stats.bytes_read += len(payload)
+            return value
+
+        value = read_scalar()
+        if value is not None:
+            self.stats.disk_hits += 1
+            _observe_lookup(hit=True)
+            self._remember(key, value)
+            return value
         self.stats.misses += 1
         _observe_lookup(hit=False)
 
         def compute_and_store() -> float:
             value = float(compute())
-            if path is None:
-                return value
             payload = json.dumps(
                 {"name": name, "value": value, "salt": self.salt}
-            )
-            try:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                fd, tmp = tempfile.mkstemp(
-                    suffix=".json.tmp", dir=str(path.parent)
-                )
-                with os.fdopen(fd, "w") as fh:
-                    fh.write(payload)
-                os.replace(tmp, path)
+            ).encode("utf-8")
+            if self._disk_put(key, payload, kind="scalar"):
                 self.stats.stores += 1
                 self.stats.bytes_written += len(payload)
-            except OSError:
-                self.stats.errors += 1
             return value
 
-        def try_load():
-            if path is None or not path.exists():
-                return None
-            try:
-                return float(json.loads(path.read_text())["value"])
-            except (OSError, ValueError, KeyError, json.JSONDecodeError):
-                return None
-
-        value = self._singleflight(path, try_load, compute_and_store)
+        value = self._singleflight(key, read_scalar, compute_and_store)
         self._remember(key, value)
         return value
 
@@ -402,40 +508,30 @@ class RunCache:
             self.stats.counts_memory_hits += 1
             _observe_counts_lookup(hit=True)
             return hit
-        path = (None if self.directory is None
-                else self.directory / f"{key}.json")
-        if path is not None and path.exists():
+        payload = self._disk_get(key, kind="counts",
+                                 legacy_name=f"{key}.json")
+        if payload is not None:
             try:
-                raw = path.read_text()
-                record = json.loads(raw)["counts"]
+                record = json.loads(payload.decode("utf-8"))["counts"]
                 if not isinstance(record, dict):
                     raise ValueError("counts entry is not a record")
                 self.stats.counts_disk_hits += 1
-                self.stats.bytes_read += len(raw)
+                self.stats.bytes_read += len(payload)
                 _observe_counts_lookup(hit=True)
                 self._remember(key, record)
                 return record
-            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            except (ValueError, KeyError, UnicodeDecodeError,
+                    json.JSONDecodeError):
                 self.stats.errors += 1
         self.stats.counts_misses += 1
         _observe_counts_lookup(hit=False)
         record = compute()
-        if path is not None:
-            payload = json.dumps(
-                {"key": counts_key, "salt": self.salt, "counts": record}
-            )
-            try:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                fd, tmp = tempfile.mkstemp(
-                    suffix=".json.tmp", dir=str(path.parent)
-                )
-                with os.fdopen(fd, "w") as fh:
-                    fh.write(payload)
-                os.replace(tmp, path)
-                self.stats.counts_stores += 1
-                self.stats.bytes_written += len(payload)
-            except OSError:
-                self.stats.errors += 1
+        blob = json.dumps(
+            {"key": counts_key, "salt": self.salt, "counts": record}
+        ).encode("utf-8")
+        if self._disk_put(key, blob, kind="counts"):
+            self.stats.counts_stores += 1
+            self.stats.bytes_written += len(blob)
         self._remember(key, record)
         return record
 
@@ -445,56 +541,114 @@ class RunCache:
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
 
-    def _singleflight(self, path: Path | None, try_load, compute):
+    # --- single flight ----------------------------------------------------
+
+    def _break_stale_lock(self, lock: Path) -> bool:
+        """Break a lock whose recorded owner is dead.
+
+        Locks carry ``{"pid": ..., "created": ...}``; a dead owner's
+        lock is removed immediately instead of stalling every peer for
+        the full single-flight timeout.  Unreadable (legacy/empty)
+        locks fall back to age: older than the timeout means the owner
+        is presumed gone.
+        """
+        pid: int | None = None
+        try:
+            owner = json.loads(lock.read_text())
+            pid = int(owner["pid"])
+        except (OSError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError):
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                return True  # lock vanished: treat as broken
+            if age < self.singleflight_timeout:
+                return False
+        if pid is not None and _pid_alive(pid):
+            return False
+        try:
+            lock.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            return False
+        obs_metrics.get_metrics().counter(
+            obs_metrics.STORE_LOCKS_BROKEN
+        ).add(1)
+        return True
+
+    def _singleflight(self, key: str, try_load, compute):
         """Best-effort cross-process dedup of one cache fill.
 
         Concurrent workers (``sweep(max_workers=...)``,
         ``run_all(jobs=...)``) often miss on the same key at the same
-        moment.  The first claims ``<entry>.lock`` (``O_EXCL``); the
-        rest poll for the stored entry instead of redoing the
-        computation.  Strictly an optimisation: on timeout (stale lock,
-        dead peer) or any filesystem error the caller just computes.
+        moment.  The first claims ``<key>.lock`` (``O_EXCL``, recording
+        its PID); the rest poll for the stored entry instead of redoing
+        the computation.  A lock whose owner died is broken on sight
+        (:meth:`_break_stale_lock`) rather than waited out.  Strictly
+        an optimisation: on timeout or any filesystem error the caller
+        just computes.
         """
-        if path is None:
+        lock = self._lock_path(key)
+        if lock is None:
             return compute()
-        lock = Path(str(path) + ".lock")
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            os.close(fd)
-        except FileExistsError:
-            deadline = time.monotonic() + self.singleflight_timeout
-            while time.monotonic() < deadline:
-                time.sleep(0.02)
-                if path.exists():
-                    value = try_load()
-                    if value is not None:
-                        return value
+        from ..faults.chaos import get_chaos
+
+        chaos = get_chaos()
+        if chaos is not None:
+            chaos.maybe_stale_lock(lock)
+        claimed = False
+        deadline = time.monotonic() + self.singleflight_timeout
+        while True:
+            try:
+                lock.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(str(lock),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                try:
+                    os.write(fd, json.dumps(
+                        {"pid": os.getpid(), "created": time.time()}
+                    ).encode("utf-8"))
+                finally:
+                    os.close(fd)
+                claimed = True
+                break
+            except FileExistsError:
+                value = try_load()
+                if value is not None:
+                    return value
                 if not lock.exists():
-                    break
-            return compute()
-        except OSError:
-            return compute()
+                    # Owner finished without storing (error path) or
+                    # the entry was evicted; compute ourselves.
+                    return compute()
+                if self._break_stale_lock(lock):
+                    continue  # reclaim: try to take the lock ourselves
+                if time.monotonic() >= deadline:
+                    return compute()
+                time.sleep(0.02)
+            except OSError:
+                return compute()
         try:
             return compute()
         finally:
-            try:
-                os.unlink(lock)
-            except OSError:
-                pass
+            if claimed:
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
 
     # --- disk level ------------------------------------------------------
 
     def _load(self, key: str) -> tuple[AlgorithmRun, dict] | None:
-        path = self._path(key)
-        if path is None or not path.exists():
+        payload = self._disk_get(key, kind="run",
+                                 legacy_name=f"{key}.npz")
+        if payload is None:
             return None
         try:
-            with np.load(path, allow_pickle=False) as npz:
+            with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
                 meta = json.loads(str(npz["meta"]))
                 values = npz["values"]
                 active = npz["active_sources"]
-            self.stats.bytes_read += path.stat().st_size
+            self.stats.bytes_read += len(payload)
             return AlgorithmRun(
                 algorithm=meta["algorithm"],
                 graph_name=meta["graph_name"],
@@ -506,7 +660,8 @@ class RunCache:
                 edge_bits=int(meta["edge_bits"]),
                 active_sources=tuple(int(a) for a in active),
             ), meta
-        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+        except (OSError, KeyError, ValueError, json.JSONDecodeError,
+                zipfile.BadZipFile):
             # A corrupt/truncated entry is treated as a miss and will be
             # overwritten by the recomputed run.
             self.stats.errors += 1
@@ -515,9 +670,6 @@ class RunCache:
     def _store(
         self, key: str, run: AlgorithmRun, extra: dict | None = None
     ) -> None:
-        path = self._path(key)
-        if path is None:
-            return
         record = {
             "algorithm": run.algorithm,
             "graph_name": run.graph_name,
@@ -530,68 +682,115 @@ class RunCache:
         }
         if extra:
             record.update(extra)
-        meta = json.dumps(record)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                suffix=".npz.tmp", dir=str(path.parent)
-            )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    np.savez(
-                        fh,
-                        meta=np.asarray(meta),
-                        values=run.values,
-                        active_sources=np.asarray(
-                            run.active_sources, dtype=np.int64
-                        ),
-                    )
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            meta=np.asarray(json.dumps(record)),
+            values=run.values,
+            active_sources=np.asarray(run.active_sources, dtype=np.int64),
+        )
+        payload = buffer.getvalue()
+        if self._disk_put(key, payload, kind="run"):
             self.stats.stores += 1
-            self.stats.bytes_written += path.stat().st_size
-        except OSError:
-            # A read-only or full filesystem degrades to memory-only.
-            self.stats.errors += 1
+            self.stats.bytes_written += len(payload)
 
     # --- maintenance ------------------------------------------------------
 
+    def _legacy_files(self) -> list[Path]:
+        if self.directory is None or not self.directory.exists():
+            return []
+        files: list[Path] = []
+        for pattern in LEGACY_PATTERNS:
+            files.extend(self.directory.glob(pattern))
+        return files
+
     def clear(self, disk: bool = True) -> int:
-        """Drop cached entries; returns the number of disk files removed."""
+        """Drop cached entries; returns the number of entries removed.
+
+        Also removes orphaned ``*.tmp`` files left behind by
+        interrupted legacy atomic writes (counted in the
+        ``store_tmp_files_cleaned`` metric, not the return value).
+        """
         self._memory.clear()
         removed = 0
-        if disk and self.directory is not None and self.directory.exists():
-            for pattern in ("*.npz", "scalar-*.json", "counts-*.json"):
-                for entry in self.directory.glob(pattern):
-                    try:
-                        entry.unlink()
-                        removed += 1
-                    except OSError:
-                        pass
+        if not disk or self.directory is None:
+            return removed
+        store = self._disk()
+        if store is not None:
+            try:
+                removed += store.clear()
+            except _STORE_ERRORS:
+                self.stats.errors += 1
+        for entry in self._legacy_files():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        clean_orphan_tmp(self.directory, max_age_s=None)
         return removed
+
+    def migrate(self) -> MigrationReport:
+        """One-shot migration of legacy files into the SQLite store."""
+        store = self._disk()
+        if store is None:
+            raise StoreError(
+                "cannot migrate: the disk store is disabled or failed "
+                "to open"
+            )
+        with get_tracer().span("store.migrate"):
+            return store.migrate_from_files(self.directory)
+
+    def verify_store(self) -> VerifyReport:
+        """Integrity-scan the store (``repro cache verify``)."""
+        store = self._disk()
+        if store is None:
+            raise StoreError(
+                "cannot verify: the disk store is disabled or failed "
+                "to open"
+            )
+        with get_tracer().span("store.verify"):
+            return store.verify()
+
+    def vacuum(self) -> dict:
+        """Compact the store (``repro cache vacuum``)."""
+        store = self._disk()
+        if store is None:
+            raise StoreError(
+                "cannot vacuum: the disk store is disabled or failed "
+                "to open"
+            )
+        with get_tracer().span("store.vacuum"):
+            return store.vacuum()
 
     def info(self) -> dict:
         """Snapshot of the cache state (for ``repro cache info``)."""
-        files = 0
+        store = self._disk()
+        entries = 0
         disk_bytes = 0
-        if self.directory is not None and self.directory.exists():
-            for pattern in ("*.npz", "scalar-*.json", "counts-*.json"):
-                for entry in self.directory.glob(pattern):
-                    try:
-                        disk_bytes += entry.stat().st_size
-                        files += 1
-                    except OSError:
-                        pass
+        quarantined = 0
+        if store is not None:
+            try:
+                entries = store.entry_count()
+                disk_bytes = store.total_bytes()
+                quarantined = store.quarantine_count()
+            except _STORE_ERRORS:
+                self.stats.errors += 1
+        legacy = self._legacy_files()
+        for entry in legacy:
+            try:
+                disk_bytes += entry.stat().st_size
+            except OSError:
+                pass
         return {
             "directory": str(self.directory) if self.directory else None,
+            "backend": "sqlite" if store is not None else None,
             "salt": self.salt,
-            "disk_entries": files,
+            "disk_entries": entries + len(legacy),
             "disk_bytes": disk_bytes,
+            "legacy_files": len(legacy),
+            "quarantined": quarantined,
+            "max_bytes": self.max_bytes,
             "memory_entries": len(self._memory),
             "memory_limit": self.max_entries,
             "stats": self.stats.to_dict(),

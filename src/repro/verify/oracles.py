@@ -15,7 +15,11 @@ promise identical results disagree.  Three families are registered:
 * *metamorphic invariants* — vertex-relabeling permutation invariance,
   interval-count ``P`` invariance of algorithm results, exact traffic
   linearity under power-of-two ``edge_scale``, and zero-fault-profile
-  pass-through.
+  pass-through;
+* *infrastructure-chaos recovery* — runs against a result store under
+  injected torn writes, bit flips and stale locks
+  (:mod:`repro.faults.chaos`) must recover to bit-identical reports,
+  and an all-zero chaos profile must be an exact pass-through.
 
 The equality policy is deliberately the strictest one the codebase
 already commits to elsewhere; an oracle failure is a broken promise,
@@ -25,6 +29,7 @@ not a tolerance call.
 from __future__ import annotations
 
 import dataclasses
+import tempfile
 from dataclasses import dataclass
 from typing import Callable
 
@@ -39,7 +44,9 @@ from ..arch.scheduler import ScheduleCounts
 from ..arch.sweep import SweepPolicy, points_to_csv, sweep
 from ..errors import VerificationError
 from ..faults import FaultProfile
+from ..faults.chaos import ChaosProfile, chaos_context
 from ..perf.batch import run_grid, scheduled_counts
+from ..perf.cache import temporary_run_cache
 from .cases import Case
 
 #: Algorithms whose executors are bit-identical everywhere (min-based
@@ -373,6 +380,96 @@ def scale_linearity(case: Case) -> None:
         elif vb != va and vb != va * 2:
             fail(f"{f.name} is neither invariant nor exactly doubled "
                  f"under 2x edge scale: {va!r} -> {vb!r}")
+
+
+# --- infrastructure-chaos recovery -------------------------------------------
+
+#: Chaos rates for the recovery oracle: hostile enough that most cases
+#: actually tear/flip something, but with slow-I/O kept cheap so the
+#: oracle stays fuzz-smoke friendly.  No killed workers — the oracle is
+#: single-process by construction.
+_RECOVERY_CHAOS = dict(
+    torn_write_rate=0.30,
+    bit_flip_rate=0.25,
+    stale_lock_rate=0.25,
+    slow_io_rate=0.10,
+    slow_io_max_s=0.0005,
+)
+
+
+@oracle(
+    "chaos-recovery",
+    "runs against a store under torn writes / bit flips / stale locks "
+    "recover to bit-identical reports",
+    stride=2,
+)
+def chaos_recovery(case: Case) -> None:
+    graph = case.graph()
+    workload = case.workload(graph)
+    config = case.config()
+
+    def evaluate():
+        return AcceleratorMachine(config).run(
+            case.make_algorithm(graph), workload
+        )
+
+    with tempfile.TemporaryDirectory() as clean_dir:
+        with temporary_run_cache(clean_dir):
+            baseline = evaluate()
+    profile = ChaosProfile(seed=case.seed, **_RECOVERY_CHAOS)
+    with tempfile.TemporaryDirectory() as chaos_dir:
+        with temporary_run_cache(chaos_dir) as cache:
+            with chaos_context(profile):
+                cold = evaluate()
+                # Drop the memory level so the warm run must go through
+                # the (possibly damaged) disk store: a torn or
+                # bit-flipped entry is quarantined and recomputed.
+                cache.clear(disk=False)
+                warm = evaluate()
+            # Chaos off: recovery against whatever damage remains.
+            cache.clear(disk=False)
+            recovered = evaluate()
+    for context, result in (("chaos cold run", cold),
+                            ("chaos warm run", warm),
+                            ("post-chaos recovery run", recovered)):
+        assert_reports_identical(baseline.report, result.report, context)
+        assert_values_match(case, baseline.run.values,
+                            result.run.values, f"{context} values")
+
+
+@oracle(
+    "zero-chaos",
+    "an all-zero chaos profile draws no entropy and is bit-identical "
+    "to no injector at all",
+    stride=2,
+)
+def zero_chaos_passthrough(case: Case) -> None:
+    graph = case.graph()
+    workload = case.workload(graph)
+    config = case.config()
+
+    def evaluate():
+        return AcceleratorMachine(config).run(
+            case.make_algorithm(graph), workload
+        )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        with temporary_run_cache(scratch):
+            plain = evaluate()
+    with tempfile.TemporaryDirectory() as scratch:
+        with temporary_run_cache(scratch):
+            with chaos_context(
+                ChaosProfile.zero(seed=case.seed)
+            ) as injector:
+                zeroed = evaluate()
+    if injector.total_injections:
+        fail(f"zero chaos profile injected "
+             f"{injector.total_injections} fault(s): "
+             f"{injector.summary()}")
+    assert_reports_identical(plain.report, zeroed.report,
+                             "zero-chaos profile")
+    assert_values_match(case, plain.run.values, zeroed.run.values,
+                        "zero-chaos profile values")
 
 
 @oracle(

@@ -195,6 +195,51 @@ class TestCacheCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "compact"])
 
+    def test_migrate_adopts_legacy_files(self, capsys, tmp_path):
+        from repro.perf.cache import temporary_run_cache
+
+        directory = tmp_path / "store"
+        directory.mkdir()
+        (directory / "scalar-ab12.json").write_text(
+            '{"name": "s", "value": 2.5, "salt": "v"}')
+        with temporary_run_cache(directory):
+            assert main(["cache", "migrate"]) == 0
+            out = capsys.readouterr().out
+            assert "migrated 1 entr(ies)" in out
+        assert not (directory / "scalar-ab12.json").exists()
+
+    def test_verify_flags_quarantine(self, capsys, tmp_path):
+        from repro.perf.cache import temporary_run_cache
+
+        with temporary_run_cache(tmp_path / "store") as cache:
+            store = cache._disk()
+            store.put("k", b"x" * 32, kind="run")
+            assert main(["cache", "verify"]) == 0
+            assert "1 ok" in capsys.readouterr().out
+            store.corrupt_bit("k", 5)
+            assert main(["cache", "verify"]) == 1
+            assert "quarantined" in capsys.readouterr().out
+
+    def test_vacuum_reports_compaction(self, capsys, tmp_path):
+        from repro.perf.cache import temporary_run_cache
+
+        with temporary_run_cache(tmp_path / "store") as cache:
+            store = cache._disk()
+            store.put("k", b"x" * 32, kind="run")
+            store.corrupt_bit("k", 5)
+            store.get("k")  # quarantines
+            assert main(["cache", "vacuum"]) == 0
+            out = capsys.readouterr().out
+            assert "dropped 1 quarantined row(s)" in out
+
+    def test_maintenance_fails_cleanly_without_store(self, capsys):
+        from repro.perf.cache import temporary_run_cache
+
+        with temporary_run_cache(""):  # memory-only: no disk store
+            for action in ("migrate", "verify", "vacuum"):
+                assert main(["cache", action]) == 1
+        assert "failed" in capsys.readouterr().err
+
 
 class TestVerboseStats:
     def test_run_verbose_prints_cache_line(self, capsys):

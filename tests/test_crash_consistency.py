@@ -1,0 +1,236 @@
+"""Crash-consistency tests: SIGKILL mid-write and power-loss snapshots.
+
+The durability promise of docs/robustness.md, enforced end to end:
+
+* a writer process SIGKILLed at a random moment mid-traffic leaves a
+  store that opens cleanly, passes a full integrity scan, and serves
+  only old-or-new payloads — never a torn hybrid;
+* a directory snapshot taken at any commit boundary (the power-loss
+  model: everything fsynced so far survives, everything after is gone)
+  is a fully valid store containing exactly the committed entries;
+* a sweep checkpoint with a torn trailing line (the shape a killed
+  appender leaves) loads with a warning and re-evaluates only the torn
+  point, while interior corruption still fails loudly.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.arch.sweep import _load_checkpoint
+from repro.perf.store import SQLiteStore
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Deterministic payload: the only valid contents for (key, version).
+_PAYLOAD_HELPER = '''
+def payload_for(key, version):
+    value = 2166136261
+    for ch in (key + ":" + str(version)).encode():
+        value = ((value ^ ch) * 16777619) & 0xFFFFFFFF
+    out = bytearray()
+    state = value or 1
+    for _ in range(512):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append(state & 0xFF)
+    return bytes(out)
+'''
+
+_KILL_WRITER = _PAYLOAD_HELPER + '''
+import sys
+from repro.perf.store import SQLiteStore
+
+store = SQLiteStore(sys.argv[1])
+print("READY", flush=True)
+version = 0
+while True:  # killed from outside, mid-put with high probability
+    for k in range(8):
+        store.put(f"key-{k}", payload_for(f"key-{k}", version),
+                  kind="run", seed=version)
+    version += 1
+'''
+
+_STEP_WRITER = _PAYLOAD_HELPER + '''
+import sys
+from repro.perf.store import SQLiteStore
+
+store = SQLiteStore(sys.argv[1])
+for line in sys.stdin:
+    n = int(line)
+    key = f"key-{n}"
+    store.put(key, payload_for(key, 0), kind="run", seed=0)
+    print(f"COMMITTED {n}", flush=True)
+'''
+
+
+def payload_for(key: str, version: int) -> bytes:
+    value = 2166136261
+    for ch in (key + ":" + str(version)).encode():
+        value = ((value ^ ch) * 16777619) & 0xFFFFFFFF
+    out = bytearray()
+    state = value or 1
+    for _ in range(512):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append(state & 0xFF)
+    return bytes(out)
+
+
+def _spawn(code: str, *args: str, **popen_kwargs) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", code, *args],
+        env=env, text=True, **popen_kwargs,
+    )
+
+
+def _assert_store_serves_only_valid_payloads(directory, max_version):
+    store = SQLiteStore(directory)
+    report = store.verify()
+    assert report.clean, (
+        f"SIGKILL left a checksum-invalid entry: {report.format()}"
+    )
+    for key in store.keys():
+        payload = store.get(key)
+        assert payload is not None
+        valid = any(payload == payload_for(key, v)
+                    for v in range(max_version))
+        assert valid, f"{key}: payload is neither old nor new"
+    store.close()
+
+
+@pytest.mark.slow
+def test_sigkill_mid_write_never_tears(tmp_path):
+    """Kill a busy writer at random points; the store must always come
+    back with only whole (old or new) entries."""
+    directory = str(tmp_path / "store")
+    for round_no in range(3):
+        proc = _spawn(_KILL_WRITER, directory,
+                      stdout=subprocess.PIPE)
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            # Let it write for a random-ish slice, then pull the plug.
+            time.sleep(0.05 + 0.08 * round_no)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        _assert_store_serves_only_valid_payloads(directory, 10_000)
+
+
+@pytest.mark.slow
+def test_power_loss_snapshot_at_commit_boundaries(tmp_path):
+    """Copy the store directory after each commit (everything fsynced
+    so far survives, nothing else): every snapshot must be a valid
+    store holding exactly the committed prefix."""
+    directory = tmp_path / "store"
+    snapshots = []
+    proc = _spawn(_STEP_WRITER, str(directory),
+                  stdin=subprocess.PIPE, stdout=subprocess.PIPE)
+    try:
+        for n in range(4):
+            proc.stdin.write(f"{n}\n")
+            proc.stdin.flush()
+            assert proc.stdout.readline().strip() == f"COMMITTED {n}"
+            snap = tmp_path / f"snap-{n}"
+            shutil.copytree(directory, snap)
+            snapshots.append((n, snap))
+    finally:
+        proc.stdin.close()
+        proc.wait(timeout=30)
+    assert proc.returncode == 0
+    for n, snap in snapshots:
+        store = SQLiteStore(snap)
+        report = store.verify()
+        assert report.clean, f"snapshot {n}: {report.format()}"
+        expected = {f"key-{i}" for i in range(n + 1)}
+        assert set(store.keys()) == expected
+        for key in expected:
+            assert store.get(key) == payload_for(key, 0)
+        store.close()
+
+
+class TestCheckpointTornTail:
+    def _write(self, path: Path, records, tail: str = "") -> None:
+        with path.open("w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+            fh.write(tail)
+
+    def _record(self, n: int) -> dict:
+        return {"key": f"f={n}", "field": "f", "value_repr": repr(n),
+                "report": None, "error": "x", "attempts": 1,
+                "metrics": {"retries": 0}}
+
+    def test_torn_trailing_line_tolerated_with_warning(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        full = json.dumps(self._record(2))
+        self._write(path, [self._record(0), self._record(1)],
+                    tail=full[: len(full) // 2])  # torn mid-append
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            entries = _load_checkpoint(path)
+        assert set(entries) == {"f=0", "f=1"}
+        assert len(caught) == 1
+        assert "truncated trailing" in str(caught[0].message)
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self._record(0)) + "\n")
+            fh.write("{torn interior line\n")
+            fh.write(json.dumps(self._record(1)) + "\n")
+        with pytest.raises(ConfigError, match="corrupt sweep checkpoint"):
+            _load_checkpoint(path)
+
+    def test_complete_garbage_last_line_raises(self, tmp_path):
+        """A newline-terminated final line that does not parse is
+        corruption, not a torn append — the append completed."""
+        path = tmp_path / "ckpt.jsonl"
+        self._write(path, [self._record(0)], tail="not json\n")
+        with pytest.raises(ConfigError, match="corrupt sweep checkpoint"):
+            _load_checkpoint(path)
+
+    def test_clean_checkpoint_loads_silently(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        self._write(path, [self._record(0)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            entries = _load_checkpoint(path)
+        assert set(entries) == {"f=0"}
+
+    def test_sweep_resumes_after_torn_tail(self, tmp_path):
+        """End to end: a sweep checkpoint whose last append was torn
+        resumes cleanly, re-evaluating only the torn point."""
+        from repro.algorithms import PageRank
+        from repro.arch.sweep import SweepPolicy, points_to_csv, sweep
+        from repro.graph import rmat
+
+        graph = rmat(64, 256, seed=3, name="ckpt-rmat")
+        path = tmp_path / "sweep.jsonl"
+        policy = SweepPolicy(checkpoint_path=path)
+        values = [0.25, 0.75, 1.0]
+        first = sweep("region_hit_rate", values, PageRank, graph,
+                      policy=policy)
+        reference = points_to_csv(first)
+        # Tear the final record mid-line, as a killed appender would.
+        text = path.read_text()
+        lines = text.splitlines(keepends=True)
+        torn = "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 3]
+        path.write_text(torn)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            second = sweep("region_hit_rate", values, PageRank, graph,
+                           policy=policy)
+        assert any("truncated trailing" in str(w.message)
+                   for w in caught)
+        assert points_to_csv(second) == reference

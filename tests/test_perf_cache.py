@@ -1,9 +1,15 @@
 """Tests for the persistent content-addressed run cache.
 
-Covers the two-level (memory LRU + disk npz/json) store, key
-derivation from algorithm signatures, the scalar statistic store, and
-the cross-process single-flight protocol.
+Covers the two-level (memory LRU + SQLite disk store) cache, key
+derivation from algorithm signatures, the scalar statistic store, the
+legacy file-layout fallback, and the cross-process single-flight
+protocol including dead-owner lock reclaim.
 """
+
+import json
+import os
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -200,33 +206,73 @@ class TestVertexCentricEntries:
 
 
 class TestSingleFlight:
-    def test_stale_lock_falls_back_to_compute(self, cache, graph):
-        """A lock file left by a crashed peer must not wedge the cache:
-        after the timeout the caller computes anyway."""
+    def test_stale_legacy_lock_falls_back_to_compute(self, cache, graph):
+        """An *empty* (pre-PID-format) lock left by a crashed peer must
+        not wedge the cache: after the timeout the caller computes."""
         cache.singleflight_timeout = 0.05
         key = cache.key(PageRank(), graph)
-        path = cache._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        stale = path.with_name(path.name + ".lock")
-        stale.touch()
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        cache._lock_path(key).touch()
         run = cache.get_or_run(PageRank(), graph)
         assert run.iterations > 0
 
     def test_waiter_adopts_peer_result(self, cache, graph):
         """If the stored entry appears while waiting on the lock, the
         waiter loads it instead of recomputing."""
-        # Pre-store the entry with a throwaway cache, then hold a lock.
+        # Pre-store the entry with a throwaway cache, then hold a lock
+        # naming this (live) process as the owner, so it is not broken.
         peer = RunCache(directory=cache.directory, salt=cache.salt)
         stored = peer.get_or_run(PageRank(), graph)
         key = cache.key(PageRank(), graph)
-        path = cache._path(key)
-        lock = path.with_name(path.name + ".lock")
-        lock.touch()
+        lock = cache._lock_path(key)
+        lock.write_text(json.dumps({"pid": os.getpid(), "created": 0.0}))
         try:
             run = cache.get_or_run(PageRank(), graph)
         finally:
-            lock.unlink()
+            if lock.exists():
+                lock.unlink()
         np.testing.assert_array_equal(run.values, stored.values)
+
+    def test_dead_owner_lock_broken_immediately(self, cache, graph):
+        """A lock recording a dead PID is reclaimed on sight — no
+        timeout wait — and the store_locks_broken counter records it."""
+        from repro.obs import metrics as obs_metrics
+
+        # A PID guaranteed dead: spawn-and-reap a trivial child.
+        proc = subprocess.Popen([sys.executable, "-c", ""])
+        proc.wait()
+        cache.singleflight_timeout = 30.0  # a wait would hang the test
+        key = cache.key(PageRank(), graph)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        lock = cache._lock_path(key)
+        lock.write_text(json.dumps({"pid": proc.pid, "created": 0.0}))
+        before = obs_metrics.get_metrics().counter(
+            obs_metrics.STORE_LOCKS_BROKEN
+        ).value
+        run = cache.get_or_run(PageRank(), graph)
+        assert run.iterations > 0
+        assert not lock.exists()
+        after = obs_metrics.get_metrics().counter(
+            obs_metrics.STORE_LOCKS_BROKEN
+        ).value
+        assert after == before + 1
+
+    def test_live_owner_lock_respected_until_timeout(self, cache, graph):
+        """A lock owned by a live process is honoured: the waiter only
+        computes once the single-flight timeout expires."""
+        cache.singleflight_timeout = 0.05
+        key = cache.key(PageRank(), graph)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        lock = cache._lock_path(key)
+        lock.write_text(json.dumps({"pid": os.getpid(), "created": 0.0}))
+        try:
+            run = cache.get_or_run(PageRank(), graph)
+            survived = lock.exists()
+        finally:
+            if lock.exists():
+                lock.unlink()
+        assert run.iterations > 0
+        assert survived  # never broken: the owner is alive
 
 
 class TestDefaultDirectory:

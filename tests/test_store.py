@@ -1,0 +1,394 @@
+"""Unit tests for the crash-safe SQLite result store.
+
+Covers checksummed round-trips, quarantine-on-corruption, LRU size
+budgeting, provenance columns, verify/vacuum maintenance, legacy-file
+migration, orphaned-tmp cleanup and the busy-retry loop.  The
+multi-process stress and kill-mid-write scenarios live in
+tests/test_store_stress.py and tests/test_crash_consistency.py.
+"""
+
+import json
+import sqlite3
+import time
+
+import pytest
+
+from repro.errors import StoreError
+from repro.obs import metrics as obs_metrics
+from repro.perf.store import (
+    SQLiteStore,
+    clean_orphan_tmp,
+    payload_checksum,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SQLiteStore(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_get_put_roundtrip(self, store):
+        store.put("k", b"payload-bytes", kind="run")
+        assert store.get("k") == b"payload-bytes"
+
+    def test_missing_key_is_none(self, store):
+        assert store.get("absent") is None
+
+    def test_replace_overwrites(self, store):
+        store.put("k", b"old", kind="run")
+        store.put("k", b"new", kind="run")
+        assert store.get("k") == b"new"
+        assert store.entry_count() == 1
+
+    def test_fresh_instance_reads_entries(self, tmp_path):
+        SQLiteStore(tmp_path / "cache").put("k", b"x" * 100, kind="run")
+        reader = SQLiteStore(tmp_path / "cache")
+        assert reader.get("k") == b"x" * 100
+
+    def test_delete(self, store):
+        store.put("k", b"x", kind="run")
+        assert store.delete("k") is True
+        assert store.delete("k") is False
+        assert store.get("k") is None
+
+    def test_keys_filter_by_kind(self, store):
+        store.put("a", b"1", kind="run")
+        store.put("b", b"2", kind="scalar")
+        assert store.keys() == ["a", "b"]
+        assert store.keys(kind="scalar") == ["b"]
+
+    def test_clear_returns_count_and_wipes_quarantine(self, store):
+        store.put("a", b"1", kind="run")
+        store.put("b", b"2", kind="run")
+        store.corrupt_bit("a", 0)
+        assert store.get("a") is None  # quarantined
+        assert store.clear() == 1  # only b is still a live entry
+        assert store.entry_count() == 0
+        assert store.quarantine_count() == 0
+
+
+class TestProvenance:
+    def test_entry_rows_carry_provenance(self, store, tmp_path):
+        store.salt = "vX"
+        before = time.time()
+        store.put("k", b"data", kind="counts", seed=42)
+        conn = sqlite3.connect(tmp_path / "cache" / "store.sqlite")
+        row = conn.execute(
+            "SELECT kind, checksum, size, salt, seed, created_at, "
+            "last_used_at FROM entries WHERE key='k'"
+        ).fetchone()
+        conn.close()
+        kind, checksum, size, salt, seed, created, used = row
+        assert kind == "counts"
+        assert checksum == payload_checksum(b"data")
+        assert size == 4
+        assert salt == "vX"
+        assert seed == 42
+        assert created >= before - 1 and used >= before - 1
+
+    def test_read_touches_recency(self, store):
+        store.put("k", b"data", kind="run")
+        conn = store._connection()
+        conn.execute("UPDATE entries SET last_used_at=0 WHERE key='k'")
+        conn.commit()
+        store.get("k")
+        touched = conn.execute(
+            "SELECT last_used_at FROM entries WHERE key='k'"
+        ).fetchone()[0]
+        assert touched > 0
+
+
+class TestQuarantine:
+    def test_corrupt_entry_quarantined_not_served(self, store):
+        store.put("k", b"a" * 64, kind="run")
+        assert store.corrupt_bit("k", 13)
+        registry = obs_metrics.get_metrics()
+        before = registry.counter(obs_metrics.STORE_QUARANTINED).value
+        assert store.get("k") is None
+        assert store.entry_count() == 0
+        assert store.quarantine_count() == 1
+        after = registry.counter(obs_metrics.STORE_QUARANTINED).value
+        assert after == before + 1
+
+    def test_recompute_after_quarantine_round_trips(self, store):
+        store.put("k", b"a" * 64, kind="run")
+        store.corrupt_bit("k", 7)
+        assert store.get("k") is None
+        store.put("k", b"a" * 64, kind="run")  # the "recompute"
+        assert store.get("k") == b"a" * 64
+
+    def test_quarantine_row_records_checksums(self, store, tmp_path):
+        store.put("k", b"b" * 32, kind="scalar")
+        store.corrupt_bit("k", 3)
+        store.get("k")
+        conn = sqlite3.connect(tmp_path / "cache" / "store.sqlite")
+        row = conn.execute(
+            "SELECT key, kind, checksum_expected, checksum_actual, "
+            "reason FROM quarantine"
+        ).fetchone()
+        conn.close()
+        assert row[0] == "k"
+        assert row[1] == "scalar"
+        assert row[2] == payload_checksum(b"b" * 32)
+        assert row[2] != row[3]
+        assert "checksum" in row[4]
+
+
+class TestEviction:
+    def test_lru_eviction_under_budget(self, tmp_path):
+        store = SQLiteStore(tmp_path / "cache", max_bytes=250)
+        for i in range(5):
+            store.put(f"k{i}", bytes(100), kind="run")
+            store.get(f"k{i}")
+        # 5 x 100 B against a 250 B budget: only the two most recently
+        # used entries survive.
+        assert store.total_bytes() <= 250
+        assert store.get("k4") is not None
+        assert store.get("k0") is None
+
+    def test_recently_read_entry_survives(self, tmp_path):
+        store = SQLiteStore(tmp_path / "cache", max_bytes=250)
+        store.put("a", bytes(100), kind="run")
+        store.put("b", bytes(100), kind="run")
+        time.sleep(0.01)
+        store.get("a")  # refresh a's recency past b's
+        store.put("c", bytes(100), kind="run")  # evicts exactly one
+        assert store.get("a") is not None
+        assert store.get("b") is None
+
+    def test_oversized_entry_is_kept_not_thrashed(self, tmp_path):
+        store = SQLiteStore(tmp_path / "cache", max_bytes=50)
+        store.put("big", bytes(200), kind="run")
+        assert store.get("big") is not None
+
+    def test_eviction_metric_counted(self, tmp_path):
+        registry = obs_metrics.get_metrics()
+        before = registry.counter(obs_metrics.STORE_EVICTIONS).value
+        store = SQLiteStore(tmp_path / "cache", max_bytes=150)
+        store.put("a", bytes(100), kind="run")
+        time.sleep(0.01)
+        store.put("b", bytes(100), kind="run")
+        after = registry.counter(obs_metrics.STORE_EVICTIONS).value
+        assert after == before + 1
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            SQLiteStore(tmp_path / "cache", max_bytes=0)
+
+
+class TestVerifyVacuum:
+    def test_verify_clean_store(self, store):
+        store.put("a", b"1", kind="run")
+        store.put("b", b"2", kind="run")
+        report = store.verify()
+        assert report.clean
+        assert report.entries == 2 and report.ok == 2
+
+    def test_verify_quarantines_corruption(self, store):
+        store.put("a", b"fine", kind="run")
+        store.put("b", b"x" * 64, kind="run")
+        store.corrupt_bit("b", 100)
+        report = store.verify()
+        assert not report.clean
+        assert report.quarantined == ["b"]
+        assert store.entry_count() == 1
+        assert "quarantined" in report.format()
+
+    def test_vacuum_drops_quarantine(self, store):
+        store.put("a", b"x" * 64, kind="run")
+        store.corrupt_bit("a", 0)
+        store.get("a")
+        assert store.quarantine_count() == 1
+        result = store.vacuum()
+        assert result["quarantine_dropped"] == 1
+        assert store.quarantine_count() == 0
+
+
+class TestSchemaGuard:
+    def test_newer_schema_refused(self, tmp_path):
+        SQLiteStore(tmp_path / "cache")
+        conn = sqlite3.connect(tmp_path / "cache" / "store.sqlite")
+        conn.execute("UPDATE meta SET value='999' "
+                     "WHERE name='schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="newer"):
+            SQLiteStore(tmp_path / "cache")
+
+
+class TestTmpCleanup:
+    def test_open_removes_stale_tmp(self, tmp_path):
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        stale = directory / "half-written.npz.tmp"
+        stale.write_bytes(b"garbage")
+        import os
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        fresh = directory / "in-flight.npz.tmp"
+        fresh.write_bytes(b"maybe live")
+        registry = obs_metrics.get_metrics()
+        before = registry.counter(obs_metrics.STORE_TMP_CLEANED).value
+        SQLiteStore(directory)
+        assert not stale.exists()
+        assert fresh.exists()  # young: may belong to a live writer
+        after = registry.counter(obs_metrics.STORE_TMP_CLEANED).value
+        assert after == before + 1
+
+    def test_clean_orphan_tmp_unbounded_age(self, tmp_path):
+        (tmp_path / "a.tmp").write_bytes(b"1")
+        (tmp_path / "b.tmp").write_bytes(b"2")
+        assert clean_orphan_tmp(tmp_path, max_age_s=None) == 2
+        assert clean_orphan_tmp(tmp_path, max_age_s=None) == 0
+
+    def test_missing_directory_is_zero(self, tmp_path):
+        assert clean_orphan_tmp(tmp_path / "absent") == 0
+
+
+class _FlakyConn:
+    """Connection proxy whose ``execute`` fails with a chosen error for
+    the first ``failures`` calls matching ``match`` (sqlite3.Connection
+    attributes are read-only, so monkeypatching needs a wrapper)."""
+
+    def __init__(self, real, match, failures, message):
+        self._real = real
+        self._match = match
+        self._failures = failures
+        self._message = message
+        self.calls = 0
+
+    def execute(self, sql, *args):
+        if sql.startswith(self._match):
+            self.calls += 1
+            if self.calls <= self._failures:
+                raise sqlite3.OperationalError(self._message)
+        return self._real.execute(sql, *args)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestBusyRetry:
+    def _install(self, store, monkeypatch, match, failures, message):
+        proxy = _FlakyConn(store._connection(), match, failures, message)
+        monkeypatch.setattr(store, "_connection", lambda: proxy)
+        return proxy
+
+    def test_transient_busy_absorbed(self, store, monkeypatch):
+        self._install(store, monkeypatch, "INSERT OR REPLACE", 2,
+                      "database is locked")
+        registry = obs_metrics.get_metrics()
+        before = registry.counter(obs_metrics.STORE_BUSY_RETRIES).value
+        store.put("k", b"data", kind="run")
+        after = registry.counter(obs_metrics.STORE_BUSY_RETRIES).value
+        assert store.get("k") == b"data"
+        assert after == before + 2
+
+    def test_persistent_busy_raises(self, store, monkeypatch):
+        self._install(store, monkeypatch, "INSERT OR REPLACE", 10_000,
+                      "database is locked")
+        with pytest.raises(sqlite3.OperationalError):
+            store.put("k", b"data", kind="run")
+
+    def test_non_busy_error_not_retried(self, store, monkeypatch):
+        proxy = self._install(store, monkeypatch, "INSERT OR REPLACE",
+                              10_000, "no such table: entries")
+        with pytest.raises(sqlite3.OperationalError):
+            store.put("k", b"data", kind="run")
+        assert proxy.calls == 1
+
+
+class TestMigration:
+    def test_migrates_all_legacy_kinds(self, tmp_path, monkeypatch):
+        import io
+
+        import numpy as np
+
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        buffer = io.BytesIO()
+        np.savez(buffer, meta=np.asarray(json.dumps({"algorithm": "pr"})),
+                 values=np.arange(4.0),
+                 active_sources=np.asarray([], dtype=np.int64))
+        (directory / "abc123.npz").write_bytes(buffer.getvalue())
+        (directory / "scalar-d4.json").write_text(
+            json.dumps({"name": "s", "value": 1.5, "salt": "v"}))
+        (directory / "counts-e5.json").write_text(
+            json.dumps({"key": "k", "salt": "v", "counts": {}}))
+        (directory / "leftover.tmp").write_bytes(b"x")
+        store = SQLiteStore(directory)
+        report = store.migrate_from_files()
+        assert report.migrated == 3
+        assert report.skipped == []
+        assert report.tmp_removed == 1
+        assert store.get("abc123") == buffer.getvalue()
+        assert store.keys(kind="scalar") == ["scalar-d4"]
+        assert store.keys(kind="counts") == ["counts-e5"]
+        # Sources are gone: re-running converges to a no-op.
+        assert not list(directory.glob("*.npz"))
+        assert not list(directory.glob("*.json"))
+        again = store.migrate_from_files()
+        assert again.migrated == 0
+
+    def test_batched_sweep_byte_identical_on_migrated_store(
+        self, tmp_path
+    ):
+        """The acceptance bar for migration: sweep CSV and checkpoint
+        outputs from a store populated via legacy-file migration are
+        byte-identical to those from a freshly computed store."""
+        from repro.algorithms import PageRank
+        from repro.arch.sweep import SweepPolicy, points_to_csv, sweep
+        from repro.graph import rmat
+        from repro.perf.cache import RunCache, temporary_run_cache
+
+        graph = rmat(64, 256, seed=5, name="mig-rmat")
+        values = [0.25, 0.75, 1.0]
+
+        def run_sweep(directory, ckpt):
+            with temporary_run_cache(directory):
+                points = sweep(
+                    "region_hit_rate", values, PageRank, graph,
+                    policy=SweepPolicy(checkpoint_path=ckpt),
+                )
+            return points_to_csv(points)
+
+        fresh_dir = tmp_path / "fresh"
+        baseline_csv = run_sweep(fresh_dir, tmp_path / "a.jsonl")
+
+        # Export the fresh store's entries into the legacy
+        # file-per-entry layout, then migrate them back in.
+        legacy_dir = tmp_path / "legacy"
+        legacy_dir.mkdir()
+        source = SQLiteStore(fresh_dir)
+        exported = 0
+        for kind, suffix in (("run", ".npz"), ("scalar", ".json"),
+                             ("counts", ".json")):
+            for key in source.keys(kind=kind):
+                (legacy_dir / f"{key}{suffix}").write_bytes(
+                    source.get(key)
+                )
+                exported += 1
+        assert exported >= 1
+        cache = RunCache(directory=legacy_dir)
+        report = cache.migrate()
+        assert report.migrated == exported
+        assert report.skipped == []
+
+        migrated_csv = run_sweep(legacy_dir, tmp_path / "b.jsonl")
+        assert migrated_csv == baseline_csv
+        assert ((tmp_path / "b.jsonl").read_bytes()
+                == (tmp_path / "a.jsonl").read_bytes())
+
+    def test_corrupt_legacy_file_skipped_and_renamed(self, tmp_path):
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        (directory / "bad.npz").write_bytes(b"not a zip at all")
+        (directory / "scalar-bad.json").write_text("{truncated")
+        store = SQLiteStore(directory)
+        report = store.migrate_from_files()
+        assert report.migrated == 0
+        assert sorted(report.skipped) == ["bad.npz", "scalar-bad.json"]
+        assert (directory / "bad.npz.corrupt").exists()
+        assert (directory / "scalar-bad.json.corrupt").exists()
+        assert "skipped" in report.format()

@@ -1,0 +1,132 @@
+"""Tests for supervised parallel sweeps: pool respawn and degradation.
+
+A worker process dying breaks the whole ``ProcessPoolExecutor``; the
+supervisor must harvest completed results, respawn the pool,
+re-dispatch only the lost points (charging them a lost attempt), and
+after ``MAX_POOL_FAILURES`` broken pools finish the remainder serially
+in the parent.  The chaos ``kill_worker_rate`` hook drives the same
+path via fault injection.
+"""
+
+import os
+
+import pytest
+
+from repro.algorithms import PageRank
+from repro.arch.sweep import SweepPolicy, points_to_csv, sweep
+from repro.faults.chaos import ChaosProfile, chaos_context
+from repro.graph import rmat
+from repro.obs import metrics as obs_metrics
+
+VALUES = [0.25, 0.5, 0.75, 1.0]
+
+
+@pytest.fixture
+def graph():
+    return rmat(64, 256, seed=17, name="supervision-rmat")
+
+
+class _KillOnceFactory:
+    """Picklable algorithm factory that hard-kills the first worker
+    process to claim the marker file, then behaves normally."""
+
+    def __init__(self, marker: str, parent_pid: int) -> None:
+        self.marker = marker
+        self.parent_pid = parent_pid
+
+    def __call__(self):
+        if os.getpid() != self.parent_pid:
+            try:
+                fd = os.open(self.marker,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+            except FileExistsError:
+                pass
+            else:
+                os._exit(137)
+        return PageRank()
+
+
+class _KillAlwaysFactory:
+    """Picklable factory that kills *every* worker process: the pool
+    can never finish, forcing the serial-fallback path."""
+
+    def __init__(self, parent_pid: int) -> None:
+        self.parent_pid = parent_pid
+
+    def __call__(self):
+        if os.getpid() != self.parent_pid:
+            os._exit(137)
+        return PageRank()
+
+
+def _counter(name: str) -> float:
+    return obs_metrics.get_metrics().counter(name).value
+
+
+@pytest.mark.slow
+class TestSupervision:
+    def test_single_worker_death_respawns_and_completes(
+        self, tmp_path, graph
+    ):
+        factory = _KillOnceFactory(str(tmp_path / "killed.marker"),
+                                   os.getpid())
+        respawns_before = _counter(obs_metrics.SWEEP_POOL_RESPAWNS)
+        serial_before = _counter(obs_metrics.SWEEP_SERIAL_FALLBACKS)
+        points = sweep("region_hit_rate", VALUES, factory, graph,
+                       policy=SweepPolicy(max_workers=2))
+        assert all(p.ok for p in points)
+        assert _counter(obs_metrics.SWEEP_POOL_RESPAWNS) \
+            == respawns_before + 1
+        assert _counter(obs_metrics.SWEEP_SERIAL_FALLBACKS) \
+            == serial_before
+        # The lost dispatch is charged to the re-dispatched point(s).
+        assert sum(p.attempts for p in points) > len(points)
+        # Reports match an unsupervised serial sweep exactly.
+        serial = sweep("region_hit_rate", VALUES, PageRank, graph)
+        for supervised, reference in zip(points, serial):
+            assert supervised.report.total_energy \
+                == reference.report.total_energy
+            assert supervised.report.time == reference.report.time
+
+    def test_repeated_pool_death_degrades_to_serial(
+        self, tmp_path, graph
+    ):
+        factory = _KillAlwaysFactory(os.getpid())
+        serial_before = _counter(obs_metrics.SWEEP_SERIAL_FALLBACKS)
+        points = sweep("region_hit_rate", VALUES, factory, graph,
+                       policy=SweepPolicy(max_workers=2))
+        assert all(p.ok for p in points)
+        assert _counter(obs_metrics.SWEEP_SERIAL_FALLBACKS) \
+            == serial_before + 1
+        # Every point lost MAX_POOL_FAILURES dispatches before the
+        # serial pass succeeded on attempt one.
+        assert all(p.attempts == 3 for p in points)
+
+    def test_chaos_killed_workers_absorbed(self, graph):
+        """kill_worker_rate=1.0 kills every pool worker (the PID guard
+        protects the parent): the sweep must still finish, via respawn
+        then serial fallback, with correct results."""
+        serial_before = _counter(obs_metrics.SWEEP_SERIAL_FALLBACKS)
+        with chaos_context(ChaosProfile(seed=3, kill_worker_rate=1.0)):
+            points = sweep("region_hit_rate", VALUES, PageRank, graph,
+                           policy=SweepPolicy(max_workers=2))
+        assert all(p.ok for p in points)
+        assert _counter(obs_metrics.SWEEP_SERIAL_FALLBACKS) \
+            == serial_before + 1
+        reference = sweep("region_hit_rate", VALUES, PageRank, graph)
+        for chaotic, ref in zip(points, reference):
+            assert chaotic.report.total_energy \
+                == ref.report.total_energy
+
+    def test_healthy_parallel_sweep_unchanged(self, graph):
+        """No worker deaths: the supervised path is byte-identical to
+        the serial sweep (the PR 5 parallel-sweep oracle, inline)."""
+        respawns_before = _counter(obs_metrics.SWEEP_POOL_RESPAWNS)
+        parallel = sweep("region_hit_rate", VALUES, PageRank, graph,
+                         policy=SweepPolicy(max_workers=2))
+        serial = sweep("region_hit_rate", VALUES, PageRank, graph,
+                       policy=SweepPolicy(max_workers=1))
+        assert points_to_csv(parallel) == points_to_csv(serial)
+        assert _counter(obs_metrics.SWEEP_POOL_RESPAWNS) \
+            == respawns_before
