@@ -43,6 +43,7 @@ from ..errors import ConfigError, SweepPointError
 from ..graph.graph import Graph
 from ..obs import metrics as obs_metrics
 from ..obs.trace import get_tracer
+from ..perf.shm import resolve_workload, share_workload
 from .config import HyVEConfig, Workload
 from .machine import AcceleratorMachine, fold_many
 from .report import EnergyReport
@@ -309,6 +310,27 @@ def _evaluate_point(
     ) from last_error
 
 
+def _evaluate_point_task(
+    config: HyVEConfig,
+    algorithm_factory: Callable[[], EdgeCentricAlgorithm],
+    workload_payload,
+    faults,
+    policy: SweepPolicy,
+) -> tuple[EnergyReport | None, str | None, int]:
+    """Pool-worker entry: resolve the workload payload, then evaluate.
+
+    ``workload_payload`` is whatever :func:`repro.perf.shm.share_workload`
+    produced in the parent — a :class:`~repro.perf.shm.SharedWorkloadRef`
+    (workers attach to the published graph segments, memoised per
+    fingerprint, instead of unpickling the edge arrays per task) or the
+    plain workload when shared memory was unavailable.
+    """
+    return _evaluate_point(
+        config, algorithm_factory, resolve_workload(workload_payload),
+        faults, policy,
+    )
+
+
 def _evaluate_parallel(
     slots: Sequence["SweepPoint | HyVEConfig"],
     pending: Sequence[int],
@@ -336,6 +358,11 @@ def _evaluate_parallel(
     # cache, warming it for the others.
     worker_policy = replace(policy, isolate_errors=True,
                             checkpoint_path=None, max_workers=1)
+    # Publish the workload's graph once; every task then ships a tiny
+    # ref instead of a pickled edge list.  The segments stay owned by
+    # the parent, so they survive pool respawns, and ``share_workload``
+    # falls back to the plain workload when shared memory is missing.
+    workload_payload = share_workload(workload)
     metrics = obs_metrics.get_metrics()
     remaining = list(pending)
     lost_attempts = {idx: 0 for idx in remaining}
@@ -359,8 +386,9 @@ def _evaluate_parallel(
             try:
                 futures = {
                     idx: pool.submit(
-                        _evaluate_point, slots[idx], algorithm_factory,
-                        workload, faults, worker_policy,
+                        _evaluate_point_task, slots[idx],
+                        algorithm_factory, workload_payload, faults,
+                        worker_policy,
                     )
                     for idx in remaining
                 }

@@ -55,100 +55,23 @@ class DynamicStats:
         return self.edges_added + self.edges_deleted
 
 
-class _BlockStore:
-    """One block's edge storage with slack and extension chaining.
-
-    Mirrors the paper's layout: a flat pair array with reserved space at
-    the end, plus the controller's address map — here a position index —
-    so both insertion (append into slack) and deletion (swap-with-last
-    at a known address) are O(1), as Section 5 claims.
-    """
-
-    __slots__ = ("pairs", "weights", "positions", "capacity", "extensions")
-
-    def __init__(
-        self,
-        src: np.ndarray,
-        dst: np.ndarray,
-        slack: float,
-        weights: np.ndarray | None = None,
-    ) -> None:
-        self.pairs: list[tuple[int, int]] = list(
-            zip(src.tolist(), dst.tolist())
-        )
-        self.weights: list[float] | None = (
-            None if weights is None else list(weights.tolist())
-        )
-        self.positions: dict[tuple[int, int], list[int]] = {}
-        for idx, pair in enumerate(self.pairs):
-            self.positions.setdefault(pair, []).append(idx)
-        self.capacity = max(4, int(np.ceil(len(self.pairs) * (1.0 + slack))))
-        self.extensions = 0
-
-    @property
-    def used(self) -> int:
-        return len(self.pairs)
-
-    def append(self, s: int, d: int, weight: float | None = None) -> bool:
-        """Add an edge; returns True if an extension was allocated."""
-        extended = False
-        if len(self.pairs) == self.capacity:
-            # Reserved space exhausted: allocate and link an extension
-            # region at the end of the block (Section 5).
-            self.capacity += max(4, self.capacity // 2)
-            self.extensions += 1
-            extended = True
-        pair = (s, d)
-        self.positions.setdefault(pair, []).append(len(self.pairs))
-        self.pairs.append(pair)
-        if self.weights is not None:
-            self.weights.append(0.0 if weight is None else float(weight))
-        return extended
-
-    def delete(self, s: int, d: int) -> bool:
-        """Remove one matching edge by swap-with-last; False if absent."""
-        pair = (s, d)
-        stack = self.positions.get(pair)
-        if not stack:
-            return False
-        idx = stack.pop()
-        if not stack:
-            del self.positions[pair]
-        last = len(self.pairs) - 1
-        if idx != last:
-            moved = self.pairs[last]
-            self.pairs[idx] = moved
-            moved_stack = self.positions[moved]
-            moved_stack[moved_stack.index(last)] = idx
-            if self.weights is not None:
-                self.weights[idx] = self.weights[last]
-        self.pairs.pop()
-        if self.weights is not None:
-            self.weights.pop()
-        return True
-
-    def delete_vertex_edges(self, v: int) -> int:
-        """Remove every edge incident to ``v``; returns removal count."""
-        victims = [p for p in self.pairs if p[0] == v or p[1] == v]
-        for pair in victims:
-            self.delete(pair[0], pair[1])
-        return len(victims)
-
-    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-        if not self.pairs:
-            empty = np.empty(0, dtype=VERTEX_DTYPE)
-            return empty, empty, (
-                None if self.weights is None else np.empty(0)
-            )
-        arr = np.asarray(self.pairs, dtype=VERTEX_DTYPE)
-        weights = (
-            None if self.weights is None else np.asarray(self.weights)
-        )
-        return arr[:, 0], arr[:, 1], weights
+def _encode_edges(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Pack (src, dst) pairs into single int64 edge records."""
+    return (src.astype(np.int64) << 32) | dst.astype(np.int64)
 
 
 class DynamicGraphStore:
-    """HyVE's interval-block layout with O(1) incremental updates."""
+    """HyVE's interval-block layout with O(1) incremental updates.
+
+    Edges are packed 8-byte records (``src << 32 | dst``) held in a
+    global multiset keyed by record, alongside dense per-block
+    occupancy/capacity/extension counters — the paper's layout is a
+    flat record array per block with ~30% reserved slack and extension
+    chaining, and the counters reproduce exactly the extension
+    allocations that layout would make, while the multiset makes every
+    update a single O(1) dict operation (HyVE's whole point: one
+    8-byte record write per update, no image rewrites).
+    """
 
     def __init__(
         self,
@@ -180,30 +103,32 @@ class DynamicGraphStore:
         self._interval_stride = max(
             1, -(-self._capacity // self.num_intervals)
         )
-        self._blocks: dict[tuple[int, int], _BlockStore] = {}
+        nblocks = self.num_intervals * self.num_intervals
+        self._block_used = np.zeros(nblocks, dtype=np.int64)
+        self._counts: dict[int, int] = {}
+        self._weights_map: dict[int, list[float]] | None = (
+            {} if graph.is_weighted else None
+        )
         if graph.num_edges:
-            src_iv = np.minimum(
-                graph.src // self._interval_stride, self.num_intervals - 1
+            records = _encode_edges(graph.src, graph.dst)
+            uniq, mult = np.unique(records, return_counts=True)
+            self._counts = dict(zip(uniq.tolist(), mult.tolist()))
+            np.add.at(
+                self._block_used, self._block_ids(graph.src, graph.dst), 1
             )
-            dst_iv = np.minimum(
-                graph.dst // self._interval_stride, self.num_intervals - 1
-            )
-            flat = src_iv * self.num_intervals + dst_iv
-            order = np.argsort(flat, kind="stable")
-            sorted_flat = flat[order]
-            boundaries = np.nonzero(np.diff(sorted_flat))[0] + 1
-            starts = np.concatenate([[0], boundaries])
-            ends = np.concatenate([boundaries, [sorted_flat.size]])
-            for start, end in zip(starts, ends):
-                key_flat = int(sorted_flat[start])
-                key = divmod(key_flat, self.num_intervals)
-                sel = order[start:end]
-                self._blocks[key] = _BlockStore(
-                    graph.src[sel],
-                    graph.dst[sel],
-                    self.slack,
-                    None if graph.weights is None else graph.weights[sel],
-                )
+            if self._weights_map is not None:
+                wmap = self._weights_map
+                for key, w in zip(
+                    records.tolist(), graph.weights.tolist()
+                ):
+                    wmap.setdefault(key, []).append(w)
+        # Every block reserves ~30% slack over its initial population
+        # (an empty block's first extent holds four records).
+        self._block_cap = np.maximum(
+            4,
+            np.ceil(self._block_used * (1.0 + self.slack)).astype(np.int64),
+        )
+        self._block_ext = np.zeros(nblocks, dtype=np.int64)
         self._num_edges = graph.num_edges
         self._weighted = graph.is_weighted
 
@@ -240,10 +165,34 @@ class DynamicGraphStore:
     def _block_of(self, s: int, d: int) -> tuple[int, int]:
         return self._interval_of(s), self._interval_of(d)
 
-    # --- mutations ------------------------------------------------------------
+    def _block_id(self, s: int, d: int) -> int:
+        return (
+            self._interval_of(s) * self.num_intervals + self._interval_of(d)
+        )
+
+    def _block_ids(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        ni = self.num_intervals
+        src_iv = np.minimum(src // self._interval_stride, ni - 1)
+        dst_iv = np.minimum(dst // self._interval_stride, ni - 1)
+        return src_iv * ni + dst_iv
+
+    # --- mutations ----------------------------------------------------------
+
+    def _grow_block(self, block: int) -> None:
+        """Allocate extensions until the block's occupancy fits — the
+        exact count serial appends would have triggered (Section 5:
+        reserved space exhausted means an extension region is allocated
+        and linked at the end of the block)."""
+        used = int(self._block_used[block])
+        cap = int(self._block_cap[block])
+        while cap < used:
+            cap += max(4, cap // 2)
+            self._block_ext[block] += 1
+            self.stats.extensions_allocated += 1
+        self._block_cap[block] = cap
 
     def add_edge(self, s: int, d: int, weight: float | None = None) -> None:
-        """O(1): append to the owning block's slack space."""
+        """O(1): append a record into the owning block's slack space."""
         self._check_vertex(s)
         self._check_vertex(d)
         if not (self._valid[s] and self._valid[d]):
@@ -258,28 +207,125 @@ class DynamicGraphStore:
             raise DynamicGraphError(
                 "this store holds unweighted edges; omit weight="
             )
-        key = self._block_of(s, d)
-        block = self._blocks.get(key)
-        if block is None:
-            block = _BlockStore(
-                np.empty(0, dtype=VERTEX_DTYPE),
-                np.empty(0, dtype=VERTEX_DTYPE),
-                self.slack,
-                np.empty(0) if self._weighted else None,
-            )
-            self._blocks[key] = block
-        if block.append(s, d, weight):
-            self.stats.extensions_allocated += 1
+        key = (s << 32) | d
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self._weights_map is not None:
+            self._weights_map.setdefault(key, []).append(float(weight))
+        block = self._block_id(s, d)
+        self._block_used[block] += 1
+        if self._block_used[block] > self._block_cap[block]:
+            self._grow_block(block)
         self._num_edges += 1
         self.stats.edges_added += 1
 
     def delete_edge(self, s: int, d: int) -> None:
-        """O(block): swap-with-last inside the owning block."""
-        block = self._blocks.get(self._block_of(s, d))
-        if block is None or not block.delete(s, d):
+        """O(1): the record is overwritten by the block's last edge and
+        the last slot is freed (order inside a block is irrelevant)."""
+        key = (s << 32) | d
+        count = self._counts.get(key, 0)
+        if count <= 0:
             raise DynamicGraphError(f"edge ({s}, {d}) not present")
+        if count == 1:
+            del self._counts[key]
+        else:
+            self._counts[key] = count - 1
+        if self._weights_map is not None:
+            weights = self._weights_map[key]
+            weights.pop()
+            if not weights:
+                del self._weights_map[key]
+        self._block_used[self._block_id(s, d)] -= 1
         self._num_edges -= 1
         self.stats.edges_deleted += 1
+
+    def add_edges(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Bulk :meth:`add_edge`: the batch is validated vectorially,
+        counted into the multiset, and block occupancies are updated in
+        one scatter; extension accounting matches what the same appends
+        would have allocated serially."""
+        src = np.asarray(src, dtype=VERTEX_DTYPE)
+        dst = np.asarray(dst, dtype=VERTEX_DTYPE)
+        n = int(src.size)
+        if n == 0:
+            return
+        if self._weighted and weights is None:
+            raise DynamicGraphError(
+                "this store holds weighted edges; pass weights="
+            )
+        if not self._weighted and weights is not None:
+            raise DynamicGraphError(
+                "this store holds unweighted edges; omit weights="
+            )
+        lo = min(int(src.min()), int(dst.min()))
+        hi = max(int(src.max()), int(dst.max()))
+        if lo < 0 or hi >= self._num_vertices:
+            raise DynamicGraphError(
+                f"edge endpoint out of range [0, {self._num_vertices})"
+            )
+        if not bool((self._valid[src] & self._valid[dst]).all()):
+            raise DynamicGraphError("edge batch touches a deleted vertex")
+        counts = self._counts
+        get = counts.get
+        for key in _encode_edges(src, dst).tolist():
+            counts[key] = get(key, 0) + 1
+        if self._weights_map is not None:
+            wmap = self._weights_map
+            for key, w in zip(
+                _encode_edges(src, dst).tolist(), weights.tolist()
+            ):
+                wmap.setdefault(key, []).append(w)
+        added = np.bincount(
+            self._block_ids(src, dst),
+            minlength=self._block_used.size,
+        )
+        self._block_used += added
+        for block in np.nonzero(
+            self._block_used > self._block_cap
+        )[0].tolist():
+            self._grow_block(block)
+        self._num_edges += n
+        self.stats.edges_added += n
+
+    def delete_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Bulk :meth:`delete_edge`.  Availability is checked before
+        any mutation, so a rejected batch leaves the store untouched."""
+        src = np.asarray(src, dtype=VERTEX_DTYPE)
+        dst = np.asarray(dst, dtype=VERTEX_DTYPE)
+        n = int(src.size)
+        if n == 0:
+            return
+        records = _encode_edges(src, dst)
+        uniq, mult = np.unique(records, return_counts=True)
+        counts = self._counts
+        get = counts.get
+        for key, m in zip(uniq.tolist(), mult.tolist()):
+            if get(key, 0) < m:
+                raise DynamicGraphError(
+                    f"edge ({key >> 32}, {key & 0xFFFFFFFF}) not present"
+                )
+        for key, m in zip(uniq.tolist(), mult.tolist()):
+            remaining = counts[key] - m
+            if remaining:
+                counts[key] = remaining
+            else:
+                del counts[key]
+            if self._weights_map is not None:
+                weights = self._weights_map[key]
+                del weights[len(weights) - m:]
+                if not weights:
+                    del self._weights_map[key]
+        removed = np.bincount(
+            self._block_ids(src, dst),
+            minlength=self._block_used.size,
+        )
+        self._block_used -= removed
+        self._num_edges -= n
+        self.stats.edges_deleted += n
 
     def add_vertex(self, value: float = 0.0) -> int:
         """O(1) while interval slack lasts; repartitions on overflow."""
@@ -292,14 +338,49 @@ class DynamicGraphStore:
         self.stats.vertices_added += 1
         return v
 
+    def add_vertices(self, count: int) -> int:
+        """Bulk :meth:`add_vertex` (default value); returns the first new
+        id.  Repartitions exactly where the serial loop would: whenever
+        the interval slack runs out."""
+        if count <= 0:
+            raise DynamicGraphError(f"count must be positive: {count}")
+        first = self._num_vertices
+        remaining = count
+        while remaining:
+            if self._num_vertices == self._capacity:
+                self._repartition()
+            take = min(self._capacity - self._num_vertices, remaining)
+            v0 = self._num_vertices
+            self._valid[v0:v0 + take] = True
+            self._values[v0:v0 + take] = 0.0
+            self._num_vertices += take
+            self.stats.vertices_added += take
+            remaining -= take
+        return first
+
+    def delete_vertices(self, vs: np.ndarray) -> None:
+        """Bulk :meth:`delete_vertex` (invalidation only)."""
+        vs = np.asarray(vs, dtype=VERTEX_DTYPE)
+        if vs.size == 0:
+            return
+        if int(vs.min()) < 0 or int(vs.max()) >= self._num_vertices:
+            raise DynamicGraphError(
+                f"vertex out of range [0, {self._num_vertices})"
+            )
+        if not bool(self._valid[vs].all()):
+            raise DynamicGraphError("vertex batch targets a deleted vertex")
+        self._valid[vs] = False
+        self._values[vs] = INVALID_VALUE
+        self.stats.vertices_deleted += int(vs.size)
+
     def delete_vertex(self, v: int, purge_edges: bool = False) -> int:
         """Delete vertex ``v``.
 
         The paper's O(1) scheme marks the value invalid (-1) and leaves
         incident edges in place — the edge-centric update simply has no
         effect for them.  ``purge_edges=True`` additionally removes the
-        incident edges (O(degree + blocks touched)), for callers that
-        need a physically clean graph.
+        incident edges (O(edge records)), for callers that need a
+        physically clean graph.
         """
         self._check_vertex(v)
         if not self._valid[v]:
@@ -307,19 +388,31 @@ class DynamicGraphStore:
         self._valid[v] = False
         self._values[v] = INVALID_VALUE
         removed = 0
-        if purge_edges:
-            i = self._interval_of(v)
-            seen: set[tuple[int, int]] = set()
-            for k in range(self.num_intervals):
-                for key in ((i, k), (k, i)):
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    block = self._blocks.get(key)
-                    if block is not None:
-                        removed += block.delete_vertex_edges(v)
-            self._num_edges -= removed
-            self.stats.edges_deleted += removed
+        if purge_edges and self._counts:
+            keys = np.fromiter(
+                self._counts.keys(), dtype=np.int64, count=len(self._counts)
+            )
+            mult = np.fromiter(
+                self._counts.values(), dtype=np.int64,
+                count=len(self._counts),
+            )
+            src = keys >> 32
+            dst = keys & 0xFFFFFFFF
+            incident = (src == v) | (dst == v)
+            removed = int(mult[incident].sum())
+            if removed:
+                for key in keys[incident].tolist():
+                    del self._counts[key]
+                    if self._weights_map is not None:
+                        self._weights_map.pop(key, None)
+                freed = np.bincount(
+                    self._block_ids(src[incident], dst[incident]),
+                    weights=mult[incident],
+                    minlength=self._block_used.size,
+                ).astype(np.int64)
+                self._block_used -= freed
+                self._num_edges -= removed
+                self.stats.edges_deleted += removed
         self.stats.vertices_deleted += 1
         return removed
 
@@ -339,25 +432,31 @@ class DynamicGraphStore:
 
     def to_graph(self, name: str = "dynamic") -> Graph:
         """Materialise the current edge set as an immutable graph."""
-        srcs = []
-        dsts = []
-        weight_parts = []
-        for block in self._blocks.values():
-            s, d, w = block.edges()
-            srcs.append(s)
-            dsts.append(d)
-            if w is not None:
-                weight_parts.append(w)
-        if srcs:
-            src = np.concatenate(srcs)
-            dst = np.concatenate(dsts)
-            weights = (
-                np.concatenate(weight_parts) if self._weighted else None
+        if not self._counts:
+            empty = np.empty(0, dtype=VERTEX_DTYPE)
+            return Graph(
+                self._num_vertices, empty, empty,
+                np.empty(0) if self._weighted else None,
+                name=name,
             )
-        else:
-            src = np.empty(0, dtype=VERTEX_DTYPE)
-            dst = np.empty(0, dtype=VERTEX_DTYPE)
-            weights = np.empty(0) if self._weighted else None
+        keys = np.fromiter(
+            self._counts.keys(), dtype=np.int64, count=len(self._counts)
+        )
+        mult = np.fromiter(
+            self._counts.values(), dtype=np.int64, count=len(self._counts)
+        )
+        expanded = np.repeat(keys, mult)
+        src = (expanded >> 32).astype(VERTEX_DTYPE)
+        dst = (expanded & 0xFFFFFFFF).astype(VERTEX_DTYPE)
+        weights = None
+        if self._weighted:
+            weights = np.array(
+                [
+                    w
+                    for key in keys.tolist()
+                    for w in self._weights_map[key]
+                ]
+            )
         return Graph(self._num_vertices, src, dst, weights, name=name)
 
 
@@ -369,30 +468,85 @@ class GraphRDynamicStore:
     edge mutation must also update the dense tile image — and the tile
     population is ~N_avg edges, so there are orders of magnitude more
     tiles to manage than HyVE has blocks.
+
+    All tile images live in one growable ``(tiles, planes, 8, 8)``
+    array with a key -> slot directory, so a batched update gathers and
+    scatters the touched cells of *every* touched tile in a handful of
+    NumPy calls — no per-tile Python iteration on the hot path.
     """
 
     TILE = 8
+    #: 16-bit cell values split over four 4-bit crossbar planes.
+    PLANES = 4
+    #: Cell counts are 16-bit (four 4-bit nibbles), so the images are
+    #: stored at exactly that width.
+    IMAGE_DTYPE = np.uint16
 
     def __init__(self, graph: Graph, slack: float = DEFAULT_SLACK) -> None:
         self.slack = slack
         self.stats = DynamicStats()
         self._num_vertices = graph.num_vertices
         self._valid = np.ones(graph.num_vertices, dtype=bool)
-        self._tiles: dict[tuple[int, int], np.ndarray] = {}
-        self._row_index: dict[int, set[tuple[int, int]]] = {}
-        self._col_index: dict[int, set[tuple[int, int]]] = {}
+        self._slot: dict[tuple[int, int], int] = {}
+        self._ntiles = 0
+        self._images = np.zeros(
+            (0, self.PLANES, self.TILE, self.TILE), dtype=self.IMAGE_DTYPE
+        )
+        # Row/column tile directories, built lazily: only vertex purges
+        # read them, so bulk loading skips the per-tile registration.
+        self._row_index: dict[int, set[tuple[int, int]]] | None = None
+        self._col_index: dict[int, set[tuple[int, int]]] | None = None
         self._num_edges = 0
         if graph.num_edges:
             self._bulk_load(graph)
+
+    @property
+    def _tiles(self) -> dict[tuple[int, int], np.ndarray]:
+        """Key -> dense image (views into the slot array), for
+        inspection; the hot paths go through the slot directory."""
+        return {
+            key: self._images[slot] for key, slot in self._slot.items()
+        }
+
+    def _indexes(
+        self,
+    ) -> tuple[
+        dict[int, set[tuple[int, int]]], dict[int, set[tuple[int, int]]]
+    ]:
+        if self._row_index is None or self._col_index is None:
+            row: dict[int, set[tuple[int, int]]] = {}
+            col: dict[int, set[tuple[int, int]]] = {}
+            for key in self._slot:
+                row.setdefault(key[0], set()).add(key)
+                col.setdefault(key[1], set()).add(key)
+            self._row_index, self._col_index = row, col
+        return self._row_index, self._col_index
+
+    def _register_tile(self, key: tuple[int, int]) -> None:
+        if self._row_index is not None:
+            self._row_index.setdefault(key[0], set()).add(key)
+        if self._col_index is not None:
+            self._col_index.setdefault(key[1], set()).add(key)
+
+    def _ensure_capacity(self, extra: int) -> None:
+        need = self._ntiles + extra
+        cap = len(self._images)
+        if need > cap:
+            new_cap = max(need, cap + (cap >> 1), 64)
+            grown = np.zeros(
+                (new_cap, self.PLANES, self.TILE, self.TILE),
+                dtype=self.IMAGE_DTYPE,
+            )
+            grown[: self._ntiles] = self._images[: self._ntiles]
+            self._images = grown
 
     def _bulk_load(self, graph: Graph) -> None:
         """Vectorised initial tiling (the one-shot preprocessing pass).
 
         One ``np.unique`` over a combined (tile, cell) key replaces the
         per-tile ``np.add.at`` scatter of the naive version: cell counts
-        for *all* tiles land in a single preallocated array, and the
-        remaining Python loop only registers dict/index entries (views
-        into that array, one per non-empty tile).
+        for *all* tiles land directly in the slot array, and the only
+        remaining Python work is the key -> slot dict construction.
         """
         t = self.TILE
         cells = t * t
@@ -409,48 +563,49 @@ class GraphRDynamicStore:
                                         [tile_flat.size]]))
         owner = np.repeat(np.arange(ntiles), sizes)
 
-        tiles = np.zeros((ntiles, self.PLANES, t, t), dtype=np.int32)
-        tiles[:, 0].reshape(ntiles, cells)[owner, cell_idx] = counts
+        # Allocate the slack share up front: the untouched tail pages
+        # cost nothing until a batch claims slots, and the first bulk
+        # update then skips the grow-and-copy entirely.
+        cap = ntiles + max(64, int(ntiles * self.slack))
+        tiles = np.zeros(
+            (cap, self.PLANES, t, t), dtype=self.IMAGE_DTYPE
+        )
+        tiles[:ntiles, 0].reshape(ntiles, cells)[owner, cell_idx] = counts
         # Upper planes hold the 4-bit nibbles of the 16-bit cell count;
         # they are only non-zero where a cell count reaches 16.
         if counts.size and int(counts.max()) >= 16:
-            base = tiles[:, 0]
+            base = tiles[:ntiles, 0]
             for plane in range(1, self.PLANES):
-                tiles[:, plane] = (base >> (4 * plane)) & 0xF
+                tiles[:ntiles, plane] = (base >> (4 * plane)) & 0xF
 
         rows = (tile_ids // stride).tolist()
         cols = (tile_ids % stride).tolist()
-        for k, (ti, tj) in enumerate(zip(rows, cols)):
-            key = (int(ti), int(tj))
-            self._tiles[key] = tiles[k]
-            self._row_index.setdefault(key[0], set()).add(key)
-            self._col_index.setdefault(key[1], set()).add(key)
+        self._images = tiles
+        self._ntiles = ntiles
+        self._slot = dict(zip(zip(rows, cols), range(ntiles)))
         self._num_edges = graph.num_edges
 
     def _tile_key(self, s: int, d: int) -> tuple[tuple[int, int], int, int]:
         t = self.TILE
         return (s // t, d // t), s % t, d % t
 
-    #: 16-bit cell values split over four 4-bit crossbar planes.
-    PLANES = 4
-
     def _tile_set(self, s: int, d: int, value: int) -> np.ndarray:
         key, r, c = self._tile_key(s, d)
-        tile = self._tiles.get(key)
-        if tile is None:
-            tile = np.zeros((self.PLANES, self.TILE, self.TILE),
-                            dtype=np.int32)
-            self._tiles[key] = tile
-            self._row_index.setdefault(key[0], set()).add(key)
-            self._col_index.setdefault(key[1], set()).add(key)
-        count = tile[0, r, c] + value
+        slot = self._slot.get(key)
+        if slot is None:
+            self._ensure_capacity(1)
+            slot = self._ntiles
+            self._ntiles += 1
+            self._slot[key] = slot
+            self._register_tile(key)
+        tile = self._images[slot]
+        count = int(tile[0, r, c]) + value
         # The dense images are what the four 4-bit crossbars load:
         # every mutation re-encodes the cell across all planes and
-        # rewrites the images.
+        # rewrites the image.
         for plane in range(self.PLANES):
             tile[plane, r, c] = (count >> (4 * plane)) & 0xF if count else 0
         tile[0, r, c] = count
-        self._tiles[key] = tile.copy()
         return tile
 
     @property
@@ -474,12 +629,104 @@ class GraphRDynamicStore:
 
     def delete_edge(self, s: int, d: int) -> None:
         key, r, c = self._tile_key(s, d)
-        tile = self._tiles.get(key)
-        if tile is None or tile[0, r, c] <= 0:
+        slot = self._slot.get(key)
+        if slot is None or self._images[slot, 0, r, c] <= 0:
             raise DynamicGraphError(f"edge ({s}, {d}) not present")
         self._tile_set(s, d, -1)
         self._num_edges -= 1
         self.stats.edges_deleted += 1
+
+    def add_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Bulk :meth:`add_edge`: one gather/scatter over the slot
+        array re-encodes every touched cell across all planes."""
+        src = np.asarray(src, dtype=VERTEX_DTYPE)
+        dst = np.asarray(dst, dtype=VERTEX_DTYPE)
+        n = int(src.size)
+        if n == 0:
+            return
+        lo = min(int(src.min()), int(dst.min()))
+        hi = max(int(src.max()), int(dst.max()))
+        if lo < 0 or hi >= self._num_vertices:
+            raise DynamicGraphError("edge batch out of range")
+        self._apply_cell_deltas(src, dst, +1)
+        self._num_edges += n
+        self.stats.edges_added += n
+
+    def delete_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Bulk :meth:`delete_edge` over the dense tile images."""
+        src = np.asarray(src, dtype=VERTEX_DTYPE)
+        dst = np.asarray(dst, dtype=VERTEX_DTYPE)
+        n = int(src.size)
+        if n == 0:
+            return
+        self._apply_cell_deltas(src, dst, -1)
+        self._num_edges -= n
+        self.stats.edges_deleted += n
+
+    def _apply_cell_deltas(
+        self, src: np.ndarray, dst: np.ndarray, sign: int
+    ) -> None:
+        """Add ``sign`` per (src, dst) occurrence to the tile cells.
+
+        Deltas are grouped per (tile, cell), missing tiles get slots
+        allocated, and then one fancy-indexed gather/scatter per plane
+        re-encodes every mutated cell — exactly what :meth:`_tile_set`
+        does per edge, across all touched tiles at once.  Validation
+        (deleting from an absent tile or below zero) happens before any
+        write, so a rejected batch leaves the store untouched.
+        """
+        t = self.TILE
+        cells = t * t
+        stride = (self._num_vertices // t) + 1
+        flat_tile = (src // t) * stride + dst // t
+        combined = flat_tile * cells + (src % t) * t + dst % t
+        ordered = np.sort(combined)
+        boundaries = np.nonzero(np.diff(ordered))[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [ordered.size]])
+        uniq = ordered[starts]
+        deltas = (ends - starts) * sign
+        tile_of = uniq // cells
+        cell_of = uniq % cells
+        tile_bounds = np.nonzero(np.diff(tile_of))[0] + 1
+        tile_starts = np.concatenate([[0], tile_bounds])
+        tile_sizes = np.diff(
+            np.concatenate([tile_starts, [tile_of.size]])
+        )
+        keys = [
+            divmod(k, stride) for k in tile_of[tile_starts].tolist()
+        ]
+        get = self._slot.get
+        slots = np.fromiter(
+            (get(k, -1) for k in keys), dtype=np.int64, count=len(keys)
+        )
+        missing = np.nonzero(slots < 0)[0]
+        if missing.size:
+            if sign < 0:
+                raise DynamicGraphError(
+                    "edge batch deletes from an empty tile"
+                )
+            self._ensure_capacity(missing.size)
+            base = self._ntiles
+            for j, i in enumerate(missing.tolist()):
+                self._slot[keys[i]] = base + j
+                self._register_tile(keys[i])
+            slots[missing] = base + np.arange(missing.size)
+            self._ntiles = base + missing.size
+        slot_per_cell = np.repeat(slots, tile_sizes)
+        flat_images = self._images.reshape(
+            len(self._images), self.PLANES, cells
+        )
+        counts = flat_images[slot_per_cell, 0, cell_of] + deltas
+        if sign < 0 and bool((counts < 0).any()):
+            raise DynamicGraphError("edge batch deletes absent edges")
+        # Re-encode the mutated cells across all planes and rewrite
+        # the dense images (what the four 4-bit crossbars reload).
+        flat_images[slot_per_cell, 0, cell_of] = counts
+        for plane in range(1, self.PLANES):
+            flat_images[slot_per_cell, plane, cell_of] = (
+                counts >> (4 * plane)
+            ) & 0xF
 
     def add_vertex(self, value: float = 0.0) -> int:
         del value
@@ -494,6 +741,34 @@ class GraphRDynamicStore:
         self.stats.vertices_added += 1
         return v
 
+    def add_vertices(self, count: int) -> int:
+        """Bulk :meth:`add_vertex`; returns the first new id."""
+        if count <= 0:
+            raise DynamicGraphError(f"count must be positive: {count}")
+        first = self._num_vertices
+        self._num_vertices += count
+        self._valid = np.append(
+            self._valid, np.ones(count, dtype=bool)
+        )
+        # One repartition per tile-grid growth, as the serial loop counts.
+        self.stats.repartitions += len(
+            range(first + (-first) % self.TILE, first + count, self.TILE)
+        )
+        self.stats.vertices_added += count
+        return first
+
+    def delete_vertices(self, vs: np.ndarray) -> None:
+        """Bulk :meth:`delete_vertex` (invalidation only)."""
+        vs = np.asarray(vs, dtype=VERTEX_DTYPE)
+        if vs.size == 0:
+            return
+        if int(vs.min()) < 0 or int(vs.max()) >= self._num_vertices:
+            raise DynamicGraphError("vertex batch out of range")
+        if not bool(self._valid[vs].all()):
+            raise DynamicGraphError("vertex batch targets a deleted vertex")
+        self._valid[vs] = False
+        self.stats.vertices_deleted += int(vs.size)
+
     def delete_vertex(self, v: int, purge_edges: bool = False) -> int:
         """Same invalidation strategy as HyVE ("we apply the same
         strategy for GraphR"); purging additionally clears the vertex's
@@ -505,19 +780,19 @@ class GraphRDynamicStore:
         if purge_edges:
             t = self.TILE
             row, col = v // t, v % t
+            row_index, col_index = self._indexes()
             keys = (
-                self._row_index.get(row, set())
-                | self._col_index.get(row, set())
+                row_index.get(row, set())
+                | col_index.get(row, set())
             )
             for key in keys:
-                tile = self._tiles[key]
+                tile = self._images[self._slot[key]]
                 if key[0] == row:
                     removed += int(tile[0, col, :].sum())
                     tile[:, col, :] = 0
                 if key[1] == row:
                     removed += int(tile[0, :, col].sum())
                     tile[:, :, col] = 0
-                self._tiles[key] = tile.copy()
             self._num_edges -= removed
             self.stats.edges_deleted += removed
         self.stats.vertices_deleted += 1

@@ -16,13 +16,28 @@ PAPER_RATIO = 8.04
 MAX_EDGES = 120_000
 
 
+#: Capped subsamples memoised on graph content: the permutation draw is
+#: O(E) and identical on every invocation (fixed seed), so warm runs
+#: skip it.  Bounded like the scheduler's imbalance memo.
+_CAPPED_MEMO: dict[str, Graph] = {}
+_CAPPED_MEMO_CAPACITY = 16
+
+
 def _capped(graph: Graph) -> Graph:
     if graph.num_edges <= MAX_EDGES:
         return graph
+    key = graph.fingerprint()
+    cached = _CAPPED_MEMO.get(key)
+    if cached is not None:
+        return cached
     rng = np.random.default_rng(0)
     sel = rng.choice(graph.num_edges, size=MAX_EDGES, replace=False)
-    return Graph(graph.num_vertices, graph.src[sel], graph.dst[sel],
-                 name=graph.name)
+    capped = Graph(graph.num_vertices, graph.src[sel], graph.dst[sel],
+                   name=graph.name)
+    if len(_CAPPED_MEMO) >= _CAPPED_MEMO_CAPACITY:
+        _CAPPED_MEMO.clear()
+    _CAPPED_MEMO[key] = capped
+    return capped
 
 
 def run(num_requests: int = 20_000) -> ExperimentResult:

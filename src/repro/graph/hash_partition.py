@@ -91,6 +91,15 @@ _HASH_PARTITION_MEMO: OrderedDict[
 ] = OrderedDict()
 _HASH_PARTITION_MEMO_CAPACITY = 64
 
+#: Relabelled graphs keyed on (source fingerprint, multiplier).  The
+#: placement is independent of P, so a P sweep (the PU-count ablation
+#: partitions one graph at six reference widths) relabels and
+#: re-fingerprints once instead of per P.
+_HASHED_GRAPH_MEMO: OrderedDict[
+    tuple[str, int], tuple[Graph, HashPlacement]
+] = OrderedDict()
+_HASHED_GRAPH_MEMO_CAPACITY = 16
+
 
 def hash_partition(
     graph: Graph,
@@ -110,8 +119,17 @@ def hash_partition(
     if hit is not None:
         _HASH_PARTITION_MEMO.move_to_end(key)
         return hit
-    placement = HashPlacement.for_graph(graph, multiplier)
-    hashed = placement.apply(graph)
+    graph_key = (key[0], int(multiplier))
+    hashed_hit = _HASHED_GRAPH_MEMO.get(graph_key)
+    if hashed_hit is not None:
+        _HASHED_GRAPH_MEMO.move_to_end(graph_key)
+        hashed, placement = hashed_hit
+    else:
+        placement = HashPlacement.for_graph(graph, multiplier)
+        hashed = placement.apply(graph)
+        _HASHED_GRAPH_MEMO[graph_key] = (hashed, placement)
+        while len(_HASHED_GRAPH_MEMO) > _HASHED_GRAPH_MEMO_CAPACITY:
+            _HASHED_GRAPH_MEMO.popitem(last=False)
     result = (IntervalBlockPartition.cached(hashed, num_intervals), placement)
     _HASH_PARTITION_MEMO[key] = result
     while len(_HASH_PARTITION_MEMO) > _HASH_PARTITION_MEMO_CAPACITY:

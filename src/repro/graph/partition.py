@@ -135,6 +135,13 @@ class IntervalBlockPartition:
             # Radix-sortable key width: numpy's stable sort on 16-bit
             # integers is an O(E) radix pass instead of O(E log E).
             order = np.argsort(flat.astype(np.uint16), kind="stable")
+        elif num_intervals <= np.iinfo(np.uint16).max + 1:
+            # Block-major is lexicographic (src interval, dst interval):
+            # two stable 16-bit radix passes, LSB (dst) first, give the
+            # identical permutation at radix speed.
+            low = np.argsort(dst_iv.astype(np.uint16), kind="stable")
+            order = low[np.argsort(src_iv[low].astype(np.uint16),
+                                   kind="stable")]
         else:
             order = np.argsort(flat, kind="stable")
         counts = np.bincount(flat, minlength=num_intervals * num_intervals)

@@ -25,6 +25,16 @@ from ..errors import ReproError
 EDGES_STREAMED = "edges_streamed"
 #: Edges actually processed by the executors (synthetic scale).
 EXECUTOR_EDGES = "executor_edges_processed"
+#: Edges applied through the vectorized vertex-centric gather/scatter
+#: path (memoised CSR + full-frontier fast path) instead of per-edge
+#: Python dispatch.
+EXECUTOR_VECTORIZED_EDGES = "executor_vectorized_edges"
+#: Graphs attached from shared-memory segments by pool workers instead
+#: of being unpickled from the task payload.
+SHM_GRAPHS_ATTACHED = "shm_graphs_attached"
+#: GraphR configurations priced through the counts-keyed fold path
+#: (one traffic expansion reused across the fig21 grid).
+GRAPHR_FOLD_CONFIGS = "graphr_fold_configs"
 #: Bank-power-gating wake transitions planned by the BPG controller.
 BPG_BANK_WAKES = "bpg_bank_wakes"
 #: Router re-routing (rotation) events under data sharing.

@@ -67,13 +67,15 @@ def bench_experiments(
     else:
         import concurrent.futures
 
-        from ..experiments.common import workloads
+        from ..experiments.common import attach_workloads, share_workloads
 
-        # Same parent prewarm as run_selected(jobs=...): fork-inherited
-        # datasets instead of per-worker regeneration.
-        workloads()
+        # Same parent prewarm + shared-memory publish as
+        # run_selected(jobs=...): forked workers inherit the datasets,
+        # other start methods attach the shared segments.
+        manifest = share_workloads()
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(jobs, len(chosen))
+            max_workers=min(jobs, len(chosen)),
+            initializer=attach_workloads, initargs=(manifest,),
         ) as pool:
             futures = {
                 name: pool.submit(_timed_experiment_worker, name)
@@ -204,6 +206,156 @@ def bench_sweep_scenario(
             k: v for k, v in counts_stats.items()
             if k.startswith("counts_")
         },
+    }
+
+
+#: The drivers the hot-path scenario times (the PR-7 bottlenecks).
+HOTPATH_EXPERIMENTS = ("fig20", "fig21", "ablation_execution_model")
+
+
+def _clear_hot_memos() -> None:
+    """Drop every process-level memo the hot paths consult.
+
+    A "cold" hot-path pass must pay CSR builds, transform caches,
+    device pricing, fig20 subsampling and partition construction — the
+    costs the memos normally amortise — so clearing them (plus a fresh
+    run-cache directory, which the caller swaps in) reproduces a fresh
+    process without the interpreter start-up noise.
+    """
+    from ..algorithms import runner as runner_mod
+    from ..algorithms import vertex_centric as vc_mod
+    from ..arch import machine as machine_mod
+    from ..experiments import fig20 as fig20_mod
+    # The package re-exports a ``hash_partition`` *function* that
+    # shadows the submodule attribute, so import the module directly.
+    from ..graph.hash_partition import (
+        _HASH_PARTITION_MEMO,
+        _HASHED_GRAPH_MEMO,
+    )
+    from ..graph import partition as partition_mod
+    from ..graph import stats as stats_mod
+
+    vc_mod._CSR_MEMO.clear()
+    runner_mod._TRANSFORM_MEMO.clear()
+    machine_mod._DEVICE_MEMO.clear()
+    machine_mod._SRAM_MEMO.clear()
+    fig20_mod._CAPPED_MEMO.clear()
+    stats_mod._NONEMPTY_MEMO.clear()
+    partition_mod._PARTITION_MEMO.clear()
+    _HASH_PARTITION_MEMO.clear()
+    _HASHED_GRAPH_MEMO.clear()
+
+
+def bench_hotpath_scenario(
+    num_requests: int = 20_000,
+    jobs: int = 2,
+    repeats: int = 3,
+) -> dict:
+    """Time the PR-7 hot paths: fig20, fig21, the executor-model
+    ablation (cold and warm), the batched-vs-serial dynamic replay,
+    and — on multi-core hosts — a jobs-vs-serial fan-out comparison.
+
+    * ``cold`` / ``warm`` — per-driver serial wall-clock against a
+      fresh private run-cache directory with all process memos cleared
+      (cold), then the same calls again (warm).
+    * ``replay_serial_s`` / ``replay_batched_s`` — one 45/45/5/5
+      request stream applied per request (:func:`apply_requests`) and
+      in vectorized chunks (:func:`apply_requests_batched`) to fresh
+      HyVE + GraphR stores; ``speedup_replay`` is the gated ratio —
+      machine-relative, so CI noise cannot flake it.
+    * ``parallel`` — the same three drivers serial vs ``jobs`` worker
+      processes, both cold; ``skipped`` on single-core hosts where
+      fan-out cannot win.
+    """
+    import tempfile
+
+    from ..dynamic.store import DynamicGraphStore, GraphRDynamicStore
+    from ..dynamic.updates import (apply_requests, apply_requests_batched,
+                                   generate_requests)
+    from ..experiments import ALL_EXPERIMENTS
+    from ..graph.generators import rmat
+    from .cache import RunCache, get_run_cache, set_run_cache
+
+    previous = get_run_cache()
+    cold: dict[str, float] = {}
+    warm: dict[str, float] = {}
+    try:
+        set_run_cache(RunCache(
+            directory=tempfile.mkdtemp(prefix="repro-bench-hotpath-")
+        ))
+        _clear_hot_memos()
+        for name in HOTPATH_EXPERIMENTS:
+            start = time.perf_counter()
+            ALL_EXPERIMENTS[name]()
+            cold[name] = time.perf_counter() - start
+        for name in HOTPATH_EXPERIMENTS:
+            start = time.perf_counter()
+            ALL_EXPERIMENTS[name]()
+            warm[name] = time.perf_counter() - start
+    finally:
+        set_run_cache(previous)
+
+    graph = rmat(4096, 100_000, seed=7, name="bench-hotpath")
+    requests = generate_requests(graph, num_requests, seed=0)
+    # Summed over repeats like the sweep scenario: the individual
+    # passes are fast enough to be noise-dominated on shared runners.
+    replay_serial = replay_batched = 0.0
+    for _ in range(max(repeats, 1)):
+        for store_cls in (DynamicGraphStore, GraphRDynamicStore):
+            store = store_cls(graph)
+            start = time.perf_counter()
+            apply_requests(store, requests)
+            replay_serial += time.perf_counter() - start
+            store = store_cls(graph)
+            start = time.perf_counter()
+            apply_requests_batched(store, requests)
+            replay_batched += time.perf_counter() - start
+
+    cpu = os.cpu_count() or 1
+    parallel: dict = {"cpu_count": cpu, "jobs": jobs}
+    if cpu >= 2 and jobs >= 2:
+        try:
+            set_run_cache(RunCache(
+                directory=tempfile.mkdtemp(prefix="repro-bench-hp-ser-")
+            ))
+            _clear_hot_memos()
+            start = time.perf_counter()
+            for name in HOTPATH_EXPERIMENTS:
+                ALL_EXPERIMENTS[name]()
+            parallel["serial_s"] = time.perf_counter() - start
+            set_run_cache(RunCache(
+                directory=tempfile.mkdtemp(prefix="repro-bench-hp-par-")
+            ))
+            _clear_hot_memos()
+            start = time.perf_counter()
+            bench_experiments(list(HOTPATH_EXPERIMENTS), jobs=jobs)
+            parallel["jobs_s"] = time.perf_counter() - start
+        finally:
+            set_run_cache(previous)
+        parallel["skipped"] = False
+        parallel["speedup"] = parallel["serial_s"] / parallel["jobs_s"]
+    else:
+        parallel["skipped"] = True
+        parallel["reason"] = f"cpu_count={cpu} < 2: fan-out cannot win"
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu,
+        "scenario": "hotpath",
+        "experiments": list(HOTPATH_EXPERIMENTS),
+        "num_requests": num_requests,
+        "repeats": max(repeats, 1),
+        "cold": cold,
+        "warm": warm,
+        "cold_total_s": sum(cold.values()),
+        "warm_total_s": sum(warm.values()),
+        "replay_serial_s": replay_serial,
+        "replay_batched_s": replay_batched,
+        "speedup_replay": replay_serial / replay_batched,
+        "parallel": parallel,
     }
 
 

@@ -261,3 +261,69 @@ class TestAttributionTaxonomy:
         tracer.stop()
         lines = [json.loads(l) for l in sink.getvalue().splitlines()]
         assert [r["kind"] for r in lines] == ["meta", "span"]
+
+
+class TestHotPathObservability:
+    """The PR-7 hot-path instruments: counters for the vectorized
+    executor, shared-memory attaches and the GraphR fold path, plus the
+    ``shm.attach`` / ``fig21.fold`` spans."""
+
+    def test_vectorized_executor_counts_edges(self, fresh_obs):
+        from repro.algorithms import PageRank
+        from repro.algorithms.vertex_centric import run_vertex_centric
+
+        g = rmat(128, 512, seed=7, name="obs-vec")
+        vc = run_vertex_centric(PageRank(iterations=3), g)
+        snap = get_metrics().snapshot()
+        assert snap[obs_metrics.EXECUTOR_VECTORIZED_EDGES]["value"] \
+            == vc.edges_examined
+
+    def test_shm_attach_counter_and_span(self, tmp_path, fresh_obs):
+        from repro.perf import shm
+
+        if not shm.shared_memory_available():
+            pytest.skip("no shared memory on this platform")
+        g = rmat(64, 256, seed=9, name="obs-shm")
+        path = tmp_path / "shm.jsonl"
+        tracer = get_tracer()
+        tracer.start(path)
+        try:
+            ref = shm.share_graph(g)
+            shm.attach_graph(ref)
+            shm.attach_graph(ref)  # memo hit: no second attach
+        finally:
+            tracer.stop()
+            shm.release_all()
+        records = read_trace(path)
+        spans = [r for r in records if r.get("name") == "shm.attach"]
+        assert len(spans) == 1
+        assert spans[0]["tags"]["edges"] == g.num_edges
+        snap = get_metrics().snapshot()
+        assert snap[obs_metrics.SHM_GRAPHS_ATTACHED]["value"] == 1.0
+
+    def test_graphr_fold_counter_and_fig21_span(self, tmp_path, fresh_obs,
+                                                monkeypatch):
+        from repro.algorithms import PageRank
+        from repro.experiments import fig21
+
+        wl = Workload(rmat(128, 512, seed=15, name="obs-fig21"))
+        monkeypatch.setattr(
+            fig21, "workloads", lambda: {"XS": wl}
+        )
+        monkeypatch.setattr(
+            fig21, "ALL_ALGORITHM_FACTORIES", {"PR": PageRank}
+        )
+        path = tmp_path / "fig21.jsonl"
+        tracer = get_tracer()
+        tracer.start(path)
+        try:
+            result = fig21.run()
+        finally:
+            tracer.stop()
+        assert len(result.rows) == 1
+        records = read_trace(path)
+        spans = [r for r in records if r.get("name") == "fig21.fold"]
+        assert len(spans) == 1
+        assert spans[0]["tags"]["cells"] == 1
+        snap = get_metrics().snapshot()
+        assert snap[obs_metrics.GRAPHR_FOLD_CONFIGS]["value"] >= 1.0

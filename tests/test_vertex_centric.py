@@ -12,11 +12,92 @@ from repro.algorithms import (
     run_vectorized,
     run_vertex_centric,
 )
-from repro.algorithms.vertex_centric import _expand_ranges
+from repro.algorithms.vertex_centric import _changed, _csr, _expand_ranges
+from repro.errors import ConvergenceError
 from repro.graph import Graph, path, rmat, star
 
 
 ALGORITHMS = [PageRank, BFS, ConnectedComponents, SSSP, SpMV]
+
+
+def _run_vertex_centric_scalar(algorithm, graph):
+    """Reference executor: one ``process_edges`` call *per edge*.
+
+    The pre-vectorization semantics, kept as the identity baseline for
+    the gather/scatter executor: same synchronous previous-iteration
+    values, same frontier rules, but every active vertex's out-edges
+    are pushed through length-1 slices in CSR order.  Returns
+    ``(values, iterations, edges_examined)``.
+    """
+    from repro.algorithms.runner import transform_cached
+
+    streamed = transform_cached(algorithm, graph)
+    indptr, src, dst, weights = _csr(streamed)
+    values = algorithm.initial_values(streamed)
+    if (not algorithm.supports_frontier
+            or algorithm.initial_active(streamed) >= streamed.num_vertices):
+        active = np.ones(streamed.num_vertices, dtype=bool)
+    else:
+        uniques, inverse = np.unique(values, return_inverse=True)
+        bulk = np.bincount(inverse).argmax()
+        active = values != uniques[bulk]
+
+    edges_examined = 0
+    iterations = 0
+    while True:
+        acc = algorithm.iteration_start(values, streamed)
+        for v in np.nonzero(active)[0].tolist():
+            for e in range(int(indptr[v]), int(indptr[v + 1])):
+                w = None if weights is None else weights[e:e + 1]
+                algorithm.process_edges(
+                    values, acc, src[e:e + 1], dst[e:e + 1], w, streamed
+                )
+                edges_examined += 1
+        result = algorithm.iteration_end(values, acc, streamed, iterations)
+        if algorithm.supports_frontier:
+            active = _changed(values, result.values)
+        else:
+            active = np.ones(streamed.num_vertices, dtype=bool)
+        values = result.values
+        iterations += 1
+        if result.converged:
+            break
+        if iterations > algorithm.max_iterations:
+            raise ConvergenceError(f"{algorithm.name} did not converge")
+    return values, iterations, edges_examined
+
+
+class TestVectorizedScalarIdentity:
+    """The vectorized executor must be indistinguishable from per-edge
+    scalar execution: exact for the integer-valued traversals, 1e-12
+    for the float accumulators (summation order differs)."""
+
+    @pytest.mark.parametrize("factory", ALGORITHMS)
+    def test_identity_on_rmat(self, factory, small_rmat):
+        vec = run_vertex_centric(factory(), small_rmat)
+        values, iterations, edges = _run_vertex_centric_scalar(
+            factory(), small_rmat
+        )
+        assert vec.run.iterations == iterations
+        assert vec.edges_examined == edges
+        if vec.run.values.dtype.kind == "f":
+            np.testing.assert_allclose(vec.run.values, values,
+                                       rtol=1e-12, atol=1e-12)
+        else:
+            assert np.array_equal(vec.run.values, values)
+
+    @pytest.mark.parametrize("factory", [BFS, SSSP])
+    def test_identity_on_sparse_frontier(self, factory):
+        # A long path keeps the frontier at one vertex per sweep — the
+        # branch the full-frontier fast path must never mishandle.
+        g = path(24)
+        vec = run_vertex_centric(factory(), g)
+        values, iterations, edges = _run_vertex_centric_scalar(
+            factory(), g
+        )
+        assert vec.run.iterations == iterations
+        assert vec.edges_examined == edges
+        np.testing.assert_allclose(vec.run.values, values)
 
 
 class TestEquivalence:

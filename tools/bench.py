@@ -49,6 +49,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 # fell back to per-point pricing — still fails it.
 SMOKE_MIN_SPEEDUP = 1.05
 SWEEP_MIN_SPEEDUP = 1.4
+HOTPATH_MIN_SPEEDUP = 1.3
+
+# --smoke parallel_not_slower: jobs=2 may exceed serial wall-clock by
+# at most this factor on >= 2 cores (grace absorbs shared-runner
+# noise; a fan-out that genuinely loses to serial — e.g. graphs
+# pickled per task again — blows well past it).
+PARALLEL_GRACE = 1.10
 
 
 def run_bench(args: argparse.Namespace) -> int:
@@ -89,6 +96,42 @@ def run_sweep_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_hotpath_scenario(args: argparse.Namespace) -> int:
+    from repro.perf.bench import bench_hotpath_scenario, write_bench
+
+    min_speedup = (HOTPATH_MIN_SPEEDUP if args.min_speedup is None
+                   else args.min_speedup)
+    payload = bench_hotpath_scenario(jobs=max(args.jobs, 2))
+    payload["min_speedup"] = min_speedup
+    path = write_bench(payload, args.output)
+    parallel = payload["parallel"]
+    if parallel.get("skipped"):
+        parallel_note = f"parallel skipped ({parallel['reason']})"
+    else:
+        parallel_note = (f"serial {parallel['serial_s']:.2f}s vs "
+                         f"jobs{parallel['jobs']} "
+                         f"{parallel['jobs_s']:.2f}s "
+                         f"({parallel['speedup']:.2f}x)")
+    print(f"hotpath scenario: cold {payload['cold_total_s']:.2f}s, "
+          f"warm {payload['warm_total_s']:.2f}s; replay serial "
+          f"{payload['replay_serial_s']:.3f}s vs batched "
+          f"{payload['replay_batched_s']:.3f}s "
+          f"({payload['speedup_replay']:.2f}x, need >= "
+          f"{min_speedup:.2f}x); {parallel_note}; wrote {path}")
+    failed = False
+    if payload["speedup_replay"] < min_speedup:
+        print(f"FAIL: batched request replay was not >= "
+              f"{min_speedup:.2f}x faster than per-request replay",
+              file=sys.stderr)
+        failed = True
+    if not parallel.get("skipped") \
+            and parallel["jobs_s"] > parallel["serial_s"] * PARALLEL_GRACE:
+        print("FAIL: parallel hot-path run was slower than serial on a "
+              "multi-core host", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
 def _timed_subprocess(experiment: str, env: dict) -> float:
     start = time.perf_counter()
     subprocess.run(
@@ -98,6 +141,49 @@ def _timed_subprocess(experiment: str, env: dict) -> float:
         env=env, check=True, cwd=REPO_ROOT,
     )
     return time.perf_counter() - start
+
+
+def _timed_run_selected(names: list[str], jobs: int, env: dict) -> float:
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-c",
+         "from repro.experiments import run_selected; "
+         f"run_selected({names!r}, save=False, jobs={jobs})"],
+        env=env, check=True, cwd=REPO_ROOT,
+    )
+    return time.perf_counter() - start
+
+
+def _parallel_not_slower_check(env: dict) -> dict:
+    """``--smoke``'s fan-out guard: jobs=2 must not lose to serial.
+
+    Runs fig20+fig21 cold (fresh cache directory per leg, fresh
+    subprocesses) serially and with two workers.  Skipped — recorded,
+    not silently passed — on single-core hosts, where fan-out cannot
+    win and the old misleading green would reappear.
+    """
+    cpu = os.cpu_count() or 1
+    names = ["fig20", "fig21"]
+    check: dict = {"check": "parallel_not_slower", "cpu_count": cpu,
+                   "experiments": names, "grace": PARALLEL_GRACE}
+    if cpu < 2:
+        check["skipped"] = True
+        check["reason"] = f"cpu_count={cpu} < 2: fan-out cannot win"
+        return check
+    serial_env = dict(env)
+    serial_env["REPRO_CACHE_DIR"] = tempfile.mkdtemp(
+        prefix="repro-bench-pns-serial-"
+    )
+    jobs_env = dict(env)
+    jobs_env["REPRO_CACHE_DIR"] = tempfile.mkdtemp(
+        prefix="repro-bench-pns-jobs-"
+    )
+    check["skipped"] = False
+    check["serial_s"] = _timed_run_selected(names, 1, serial_env)
+    check["jobs2_s"] = _timed_run_selected(names, 2, jobs_env)
+    check["speedup"] = check["serial_s"] / check["jobs2_s"]
+    check["ok"] = check["jobs2_s"] <= check["serial_s"] * PARALLEL_GRACE
+    return check
 
 
 def run_smoke(args: argparse.Namespace) -> int:
@@ -115,6 +201,8 @@ def run_smoke(args: argparse.Namespace) -> int:
     warm = _timed_subprocess(experiment, env)
     speedup = cold / warm if warm > 0 else float("inf")
 
+    parallel = _parallel_not_slower_check(env)
+
     payload = {
         "schema": BENCH_SCHEMA,
         "mode": "smoke",
@@ -123,16 +211,28 @@ def run_smoke(args: argparse.Namespace) -> int:
         "warm_s": warm,
         "speedup": speedup,
         "min_speedup": min_speedup,
+        "parallel_not_slower": parallel,
     }
     path = write_bench(payload, args.output)
+    if parallel.get("skipped"):
+        parallel_note = f"parallel check skipped ({parallel['reason']})"
+    else:
+        parallel_note = (f"parallel fig20+fig21 serial "
+                         f"{parallel['serial_s']:.2f}s vs jobs2 "
+                         f"{parallel['jobs2_s']:.2f}s")
     print(f"smoke [{experiment}]: cold {cold:.2f}s, warm {warm:.2f}s, "
           f"speedup {speedup:.2f}x (need >= {min_speedup:.2f}x); "
-          f"wrote {path}")
+          f"{parallel_note}; wrote {path}")
+    failed = False
     if speedup < min_speedup:
         print("FAIL: cache-warm run was not measurably faster",
               file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if not parallel.get("skipped") and not parallel["ok"]:
+        print("FAIL: jobs=2 was slower than serial on a multi-core "
+              "host (parallel_not_slower)", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -147,15 +247,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="payload path (default BENCH.json)")
     parser.add_argument("--smoke", action="store_true",
                         help="cold-vs-warm cache regression check")
-    parser.add_argument("--scenario", choices=["sweep"],
+    parser.add_argument("--scenario", choices=["sweep", "hotpath"],
                         help="timed scenario: 'sweep' prices a "
                              "32-point density x BPG-timeout grid "
-                             "serially and batched (cold + warm)")
+                             "serially and batched (cold + warm); "
+                             "'hotpath' times fig20/fig21/the "
+                             "executor-model ablation cold+warm plus "
+                             "batched-vs-serial request replay and a "
+                             "jobs-vs-serial fan-out on >= 2 cores")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="--smoke / --scenario sweep: minimum "
-                             "speedup ratio (defaults to "
+                        help="--smoke / --scenario: minimum speedup "
+                             "ratio (defaults to "
                              f"SMOKE_MIN_SPEEDUP={SMOKE_MIN_SPEEDUP} / "
-                             f"SWEEP_MIN_SPEEDUP={SWEEP_MIN_SPEEDUP})")
+                             f"SWEEP_MIN_SPEEDUP={SWEEP_MIN_SPEEDUP} / "
+                             f"HOTPATH_MIN_SPEEDUP={HOTPATH_MIN_SPEEDUP})")
     parser.add_argument("--baseline-total-s", type=float, default=None,
                         help="record a reference total (e.g. the "
                              "pre-optimization serial wall-clock) in "
@@ -167,6 +272,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_smoke(args)
     if args.scenario == "sweep":
         return run_sweep_scenario(args)
+    if args.scenario == "hotpath":
+        return run_hotpath_scenario(args)
     return run_bench(args)
 
 
