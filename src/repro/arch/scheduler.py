@@ -53,6 +53,51 @@ def _imbalance_remember(key: tuple[str, int, bool], value: float) -> None:
     ).set(len(_IMBALANCE_CACHE))
 
 
+def clear_imbalance_cache() -> None:
+    """Drop the in-process imbalance memo (tests and identity oracles
+    that must prove two paths compute — not recall — the same value)."""
+    _IMBALANCE_CACHE.clear()
+
+
+def imbalance_reference_intervals(num_vertices: int, num_pus: int) -> int:
+    """The reference partition width P the imbalance estimate uses.
+
+    Exposed so the out-of-core path (:mod:`repro.graph.shards`) can
+    build its per-shard block histograms at exactly the P that
+    :func:`estimate_imbalance` would partition at — a prerequisite for
+    bit-identical merged counts.  A returned P larger than
+    ``num_vertices`` means the estimate degenerates to 1.0 (no
+    partition is built).
+    """
+    p = num_pus * _IMBALANCE_REFERENCE_MULTIPLE
+    while p > max(num_vertices, 1):
+        p //= 2
+    return max(p - (p % num_pus), num_pus)
+
+
+def seed_imbalance(graph, num_pus: int, hash_placement: bool,
+                   value: float) -> float:
+    """Install a precomputed imbalance estimate for ``graph``.
+
+    The sharded counts path computes the estimate from per-shard block
+    histograms merged exactly; seeding the scalar cache under the same
+    key lets the subsequent :meth:`ScheduleCounts.compute` hit it, so
+    the merged result is bit-identical to the in-memory path without a
+    second O(E) pass over the edge list.  Returns the value actually
+    cached — an existing entry wins, mirroring ``get_or_scalar``.
+    """
+    from ..perf.cache import get_run_cache
+
+    stored = get_run_cache().get_or_scalar(
+        f"imbalance-n{num_pus}-hash{int(hash_placement)}", graph,
+        lambda: value,
+    )
+    _imbalance_remember(
+        (graph.fingerprint(), num_pus, hash_placement), stored
+    )
+    return stored
+
+
 def estimate_imbalance(run: AlgorithmRun, workload: Workload,
                        num_pus: int, hash_placement: bool = True) -> float:
     """Per-step load imbalance of the super-block schedule (>= 1).
@@ -90,10 +135,7 @@ def estimate_imbalance(run: AlgorithmRun, workload: Workload,
 
 
 def _compute_imbalance(graph, num_pus: int, hash_placement: bool) -> float:
-    p = num_pus * _IMBALANCE_REFERENCE_MULTIPLE
-    while p > max(graph.num_vertices, 1):
-        p //= 2
-    p = max(p - (p % num_pus), num_pus)
+    p = imbalance_reference_intervals(graph.num_vertices, num_pus)
     if p > graph.num_vertices:
         return 1.0
     if hash_placement:

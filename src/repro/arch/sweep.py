@@ -323,7 +323,11 @@ def _evaluate_point_task(
     produced in the parent — a :class:`~repro.perf.shm.SharedWorkloadRef`
     (workers attach to the published graph segments, memoised per
     fingerprint, instead of unpickling the edge arrays per task) or the
-    plain workload when shared memory was unavailable.
+    plain workload when shared memory was unavailable.  Shard-backed
+    workloads (:func:`repro.graph.shards.sharded_workload`) arrive the
+    same way: their ref carries a shard-store directory and workers
+    memory-map the files instead of attaching segments, so paper-scale
+    sweeps fan out without the edge list ever crossing a pipe.
     """
     return _evaluate_point(
         config, algorithm_factory, resolve_workload(workload_payload),

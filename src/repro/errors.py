@@ -47,6 +47,13 @@ class VerificationError(ReproError):
     :mod:`repro.verify`), or a repro file could not be replayed."""
 
 
+class ShardError(ReproError):
+    """An on-disk shard store cannot be written or trusted — a second
+    write into a write-once directory, a torn or truncated manifest,
+    data files whose sizes disagree with the manifest, or a checksum /
+    fingerprint mismatch (see :mod:`repro.graph.shards`)."""
+
+
 class StoreError(ReproError):
     """The durable result store (:mod:`repro.perf.store`) cannot satisfy
     a request — unopenable database, schema mismatch, invalid budget."""

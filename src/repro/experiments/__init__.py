@@ -8,6 +8,7 @@ from ..errors import ConfigError
 from . import (
     ablations,
     headline,
+    outofcore,
     resilience,
     sensitivity,
     fig09,
@@ -65,6 +66,7 @@ ALL_EXPERIMENTS = {
     "headline": headline.run,
     "sensitivity": sensitivity.run,
     "resilience": resilience.run,
+    "outofcore": outofcore.run,
 }
 
 

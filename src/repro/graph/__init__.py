@@ -23,7 +23,25 @@ from .partition import (
     interval_bounds,
     interval_of,
 )
-from .hash_partition import HashPlacement, hash_partition, imbalance
+from .hash_partition import (
+    HashPlacement,
+    hash_partition,
+    imbalance,
+    imbalance_from_block_counts,
+)
+from .rmat_stream import rmat_stream
+from .shards import (
+    ShardStore,
+    ShardWriter,
+    ShardedGraphRef,
+    attach_sharded_graph,
+    run_sharded,
+    sharded_graph_ref,
+    sharded_scheduled_counts,
+    sharded_workload,
+    write_graph_shards,
+    write_rmat_shards,
+)
 from .stats import (
     CROSSBAR_DIM,
     GraphShape,
@@ -66,6 +84,18 @@ __all__ = [
     "HashPlacement",
     "hash_partition",
     "imbalance",
+    "imbalance_from_block_counts",
+    "rmat_stream",
+    "ShardStore",
+    "ShardWriter",
+    "ShardedGraphRef",
+    "attach_sharded_graph",
+    "run_sharded",
+    "sharded_graph_ref",
+    "sharded_scheduled_counts",
+    "sharded_workload",
+    "write_graph_shards",
+    "write_rmat_shards",
     "CROSSBAR_DIM",
     "GraphShape",
     "average_edges_per_nonempty_block",

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..errors import PartitionError
 from .graph import Graph, VERTEX_DTYPE
-from .partition import IntervalBlockPartition
+from .partition import IntervalBlockPartition, step_counts_from_blocks
 
 #: Default multiplier: a large odd prime works for almost all sizes.
 _DEFAULT_MULTIPLIER = 2_654_435_761  # Knuth's multiplicative hash constant
@@ -144,7 +144,21 @@ def imbalance(partition: IntervalBlockPartition, num_pus: int) -> float:
     (sum over steps of the mean per-PU edge count); 1.0 is perfectly
     balanced, higher means PUs idle at synchronisation barriers.
     """
-    steps = partition.super_block_step_counts(num_pus)
+    partition.num_super_blocks(num_pus)  # validates divisibility
+    return imbalance_from_block_counts(partition.block_counts, num_pus)
+
+
+def imbalance_from_block_counts(
+    block_counts: np.ndarray, num_pus: int
+) -> float:
+    """:func:`imbalance` computed from a P x P block-count matrix alone.
+
+    Block counts are additive integers, so the out-of-core path
+    (:mod:`repro.graph.shards`) sums per-shard histograms exactly and
+    calls this — the identical float pipeline :func:`imbalance` uses —
+    to get a bit-identical estimate without building the partition.
+    """
+    steps = step_counts_from_blocks(block_counts, num_pus)
     per_step_max = steps.max(axis=-1).astype(np.float64)
     per_step_mean = steps.mean(axis=-1)
     total_max = per_step_max.sum()

@@ -45,6 +45,47 @@ def partition_cache_len() -> int:
     return len(_PARTITION_MEMO)
 
 
+def step_counts_from_blocks(
+    block_counts: np.ndarray, num_pus: int
+) -> np.ndarray:
+    """Per-step per-PU edge counts from a P x P block-count matrix.
+
+    The schedule shape (Algorithm 2's round-robin data sharing) is a
+    pure function of the per-block edge counts, so it can be computed
+    from a histogram alone — which is what the out-of-core path does:
+    per-shard histograms are additive integers, merge exactly, and feed
+    this function to reproduce
+    :meth:`IntervalBlockPartition.super_block_step_counts`
+    bit-identically without ever materialising the partition.
+
+    Returns an array of shape ``(P/N, P/N, N, N)`` indexed as
+    ``[X, Y, step, pu]``; see
+    :meth:`IntervalBlockPartition.super_block_step_counts`.
+    """
+    counts = np.asarray(block_counts, dtype=np.int64)
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise PartitionError(
+            f"block counts must be a square matrix, got shape {counts.shape}"
+        )
+    n = num_pus
+    if n <= 0:
+        raise PartitionError(f"need at least one PU, got {n}")
+    p = counts.shape[0]
+    if p % n:
+        raise PartitionError(
+            f"P={p} must be a multiple of N={n} for super-block scheduling"
+        )
+    q = p // n
+    blocks = counts.reshape(q, n, q, n)  # [X, i, Y, j]
+    out = np.empty((q, q, n, n), dtype=np.int64)
+    pus = np.arange(n)
+    for step in range(n):
+        rows = (pus + step) % n
+        # PU k handles local block (rows[k], k) of the super block.
+        out[:, :, step, :] = blocks[:, rows, :, pus].transpose(1, 2, 0)
+    return out
+
+
 def interval_bounds(num_vertices: int, num_intervals: int) -> np.ndarray:
     """Start offsets of each interval, plus a final sentinel.
 
@@ -307,17 +348,8 @@ class IntervalBlockPartition:
         the per-PU edge counts whose per-step maximum bounds the
         processing time (Algorithm 2's synchronisation barrier).
         """
-        n = num_pus
-        q = self.num_intervals // max(n, 1)
-        self.num_super_blocks(n)  # validates divisibility
-        blocks = self.block_counts.reshape(q, n, q, n)  # [X, i, Y, j]
-        out = np.empty((q, q, n, n), dtype=np.int64)
-        pus = np.arange(n)
-        for step in range(n):
-            rows = (pus + step) % n
-            # PU k handles local block (rows[k], k) of the super block.
-            out[:, :, step, :] = blocks[:, rows, :, pus].transpose(1, 2, 0)
-        return out
+        self.num_super_blocks(num_pus)  # validates divisibility
+        return step_counts_from_blocks(self.block_counts, num_pus)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -32,6 +32,12 @@ EXECUTOR_VECTORIZED_EDGES = "executor_vectorized_edges"
 #: Graphs attached from shared-memory segments by pool workers instead
 #: of being unpickled from the task payload.
 SHM_GRAPHS_ATTACHED = "shm_graphs_attached"
+#: Shard slices streamed by the out-of-core executor (one per shard per
+#: iteration; see :func:`repro.graph.shards.run_sharded`).
+SHARDS_STREAMED = "shards_streamed"
+#: Per-shard ScheduleCounts partials merged exactly into whole-graph
+#: counts (:func:`repro.graph.shards.sharded_scheduled_counts`).
+SHARD_COUNTS_MERGED = "shard_counts_merged"
 #: GraphR configurations priced through the counts-keyed fold path
 #: (one traffic expansion reused across the fig21 grid).
 GRAPHR_FOLD_CONFIGS = "graphr_fold_configs"

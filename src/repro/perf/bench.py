@@ -359,6 +359,108 @@ def bench_hotpath_scenario(
     }
 
 
+def bench_outofcore_scenario(
+    num_vertices: int = 4_850_000,
+    num_edges: int = 69_000_000,
+    shard_edges: int = 1 << 22,
+    chunk_edges: int = 1 << 20,
+    seed: int = 8,
+    directory: str | Path | None = None,
+    jobs: int = 1,
+) -> dict:
+    """Time the out-of-core path end to end at a chosen scale.
+
+    Defaults to live-journal's published size (4.85M vertices, 69M
+    edges — the scale the experiments otherwise approach only through
+    reported-size scaling): streams an R-MAT of that size to an on-disk
+    shard store, re-reads it for checksum verification, converges PR
+    and BFS with :func:`repro.graph.shards.run_sharded`, and derives
+    the schedule counts from per-shard partials.  Every stage records
+    wall-clock and an edges/second rate; the payload also carries the
+    store's resident-memory model, which is the number the scaling
+    guide (docs/scaling.md) asks operators to check against their RAM.
+
+    ``directory=None`` stages the store in a temporary directory that
+    is deleted afterwards — the bench needs ``disk_bytes`` of free
+    scratch space (~1.1 GB at the default scale).
+    """
+    import shutil
+    import tempfile
+
+    from ..algorithms.bfs import BFS
+    from ..algorithms.pagerank import PageRank
+    from ..arch.config import NAMED_CONFIGS
+    from ..arch.scheduler import clear_imbalance_cache
+    from ..graph.shards import (run_sharded, sharded_scheduled_counts,
+                                sharded_workload, write_rmat_shards)
+    from .cache import temporary_run_cache
+
+    scratch = None
+    if directory is None:
+        scratch = tempfile.mkdtemp(prefix="repro-bench-ooc-")
+        directory = Path(scratch) / "store"
+    try:
+        start = time.perf_counter()
+        store = write_rmat_shards(
+            directory, num_vertices, num_edges, seed=seed,
+            shard_edges=shard_edges, chunk_edges=chunk_edges,
+        )
+        generate_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        store.verify()
+        verify_s = time.perf_counter() - start
+
+        algorithms = {}
+        pr_run = None
+        with temporary_run_cache():
+            for factory in (PageRank, BFS):
+                start = time.perf_counter()
+                run = run_sharded(factory(), store, cache=True)
+                elapsed = time.perf_counter() - start
+                algorithms[run.algorithm] = {
+                    "iterations": run.iterations,
+                    "converge_s": elapsed,
+                    "edges_per_s": run.iterations * num_edges / elapsed,
+                }
+                if pr_run is None:
+                    pr_run = run
+            config = NAMED_CONFIGS["acc+HyVE"]()
+            clear_imbalance_cache()
+            start = time.perf_counter()
+            counts = sharded_scheduled_counts(
+                pr_run, sharded_workload(store), config, jobs=jobs,
+            )
+            counts_s = time.perf_counter() - start
+
+        return {
+            "schema": BENCH_SCHEMA,
+            "created": datetime.now(timezone.utc).isoformat(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+            "scenario": "outofcore",
+            "num_vertices": num_vertices,
+            "num_edges": num_edges,
+            "edge_vertex_ratio": num_edges / max(num_vertices, 1),
+            "shard_edges": shard_edges,
+            "num_shards": store.num_shards,
+            "jobs": jobs,
+            "generate_s": generate_s,
+            "generate_edges_per_s": num_edges / generate_s,
+            "verify_s": verify_s,
+            "verify_edges_per_s": num_edges / verify_s,
+            "algorithms": algorithms,
+            "counts_s": counts_s,
+            "counts_edges_per_s": num_edges / counts_s,
+            "counts_imbalance": counts.imbalance,
+            "memory_budget": store.memory_budget(),
+        }
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
 def write_bench(payload: dict, path: str | Path) -> Path:
     """Write a BENCH payload as pretty JSON; returns the path."""
     path = Path(path)

@@ -359,6 +359,32 @@ class RunCache:
         self._remember(key, run)
         return run
 
+    def seed_run(
+        self, algorithm: EdgeCentricAlgorithm, graph: Graph, run: AlgorithmRun
+    ) -> AlgorithmRun:
+        """Install a run produced by another executor under the standard key.
+
+        The out-of-core path (:func:`repro.graph.shards.run_sharded`)
+        converges paper-scale graphs by streaming shards; seeding its
+        result here lets every downstream engine price the workload
+        through the normal :meth:`get_or_run` without an in-memory
+        convergence pass.  An existing entry wins — keys are
+        content-addressed, so whatever is already cached is equivalent
+        — mirroring :meth:`get_or_scalar`.
+        """
+        key = self.key(algorithm, graph)
+        existing = self._memory.get(key)
+        if existing is not None:
+            self._memory.move_to_end(key)
+            return existing
+        loaded = self._load(key)
+        if loaded is not None:
+            run = loaded[0]
+        else:
+            self._store(key, run)
+        self._remember(key, run)
+        return run
+
     def get_or_run_vertex_centric(
         self, algorithm: EdgeCentricAlgorithm, graph: Graph
     ):

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.graph import VERTEX_DTYPE, Graph
+from ..graph.shards import ShardedGraphRef, attach_sharded_graph
 from ..obs import metrics as obs_metrics
 from ..obs.trace import get_tracer
 
@@ -93,15 +94,33 @@ def _segment_of(array: np.ndarray, name_hint: str):
     return seg
 
 
-def share_graph(graph: Graph) -> SharedGraphRef | None:
+def share_graph(graph: Graph) -> "SharedGraphRef | ShardedGraphRef | None":
     """Publish ``graph``'s arrays into shared memory (idempotent).
 
     Returns a picklable :class:`SharedGraphRef`, or ``None`` when
     shared memory is unavailable or segment creation fails — the
     caller then ships the graph by pickle as before.  Re-sharing a
     graph with the same fingerprint returns the existing ref.
+
+    A graph backed by an on-disk shard store
+    (:meth:`repro.graph.shards.ShardStore.as_graph`) is handed off as a
+    :class:`~repro.graph.shards.ShardedGraphRef` instead — the store's
+    files are already a shared mappable medium, so no segments are
+    created and nothing has to fit in ``/dev/shm``.
     """
     global _ATEXIT_REGISTERED
+    manifest = getattr(graph, "_shard_manifest", None)
+    if manifest is not None:
+        # Shard-backed graphs already live on disk in a mappable form;
+        # workers memory-map the same files instead of a /dev/shm copy
+        # (which a paper-scale edge list would not fit in anyway).
+        return ShardedGraphRef(
+            directory=manifest,
+            fingerprint=graph.fingerprint(),
+            graph_name=graph.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        )
     if _shared_memory is None:
         return None
     fingerprint = graph.fingerprint()
@@ -185,23 +204,29 @@ def attach_graph(ref: SharedGraphRef) -> Graph:
     return graph
 
 
-def resolve_graph(obj: "SharedGraphRef | Graph") -> Graph:
+def resolve_graph(obj: "SharedGraphRef | ShardedGraphRef | Graph") -> Graph:
     """Worker-side: turn a task payload back into a :class:`Graph`.
 
-    Accepts either a :class:`SharedGraphRef` (the shared-memory path)
-    or a plain :class:`Graph` (the pickling fallback), so dispatch
-    sites can pass whatever ``share_graph`` gave them.
+    Accepts a :class:`SharedGraphRef` (the shared-memory path), a
+    :class:`~repro.graph.shards.ShardedGraphRef` (the on-disk
+    memory-mapped path), or a plain :class:`Graph` (the pickling
+    fallback), so dispatch sites can pass whatever ``share_graph``
+    gave them.
     """
     if isinstance(obj, SharedGraphRef):
         return attach_graph(obj)
+    if isinstance(obj, ShardedGraphRef):
+        return attach_sharded_graph(obj)
     return obj
 
 
 @dataclass(frozen=True)
 class SharedWorkloadRef:
-    """Picklable handle to a workload whose graph lives in shared memory."""
+    """Picklable handle to a workload whose graph lives out of band —
+    in shared memory (:class:`SharedGraphRef`) or in an on-disk shard
+    store (:class:`~repro.graph.shards.ShardedGraphRef`)."""
 
-    graph_ref: SharedGraphRef
+    graph_ref: "SharedGraphRef | ShardedGraphRef"
     reported_vertices: int | None
     reported_edges: int | None
 
@@ -230,7 +255,7 @@ def resolve_workload(obj):
         from ..arch.config import Workload
 
         return Workload(
-            graph=attach_graph(obj.graph_ref),
+            graph=resolve_graph(obj.graph_ref),
             reported_vertices=obj.reported_vertices,
             reported_edges=obj.reported_edges,
         )

@@ -472,6 +472,85 @@ def zero_chaos_passthrough(case: Case) -> None:
                         "zero-chaos profile values")
 
 
+# --- out-of-core shard identity ----------------------------------------------
+
+@oracle(
+    "shard-identity",
+    "shard round trip preserves the fingerprint; streamed runs and "
+    "merged per-shard counts reproduce the in-memory path",
+    stride=2,
+)
+def shard_identity(case: Case) -> None:
+    """The out-of-core promises of :mod:`repro.graph.shards`.
+
+    Writes the case's graph to an on-disk shard store cut into several
+    shards, then checks every identity the paper-scale path relies on:
+    the memory-mapped round trip preserves the content fingerprint
+    (and survives :meth:`ShardStore.verify`'s re-hash); streamed
+    convergence matches ``run_vectorized`` under the per-algorithm
+    value policy with identical iteration and active-source traces;
+    and schedule counts merged from per-shard partials are
+    **bit-identical** — not merely close — to the whole-graph
+    computation, under fresh scratch caches on both sides so the
+    comparison is compute-vs-compute, never compute-vs-recall.
+    """
+    from pathlib import Path
+
+    from ..arch.scheduler import clear_imbalance_cache
+    from ..graph.shards import (run_sharded, sharded_scheduled_counts,
+                                write_graph_shards)
+
+    graph = case.graph()
+    config = case.config()
+    # Cut into ~4 shards so merge order and boundary handling are real.
+    shard_edges = max(1, -(-graph.num_edges // 4))
+    with tempfile.TemporaryDirectory() as scratch:
+        store = write_graph_shards(graph, Path(scratch) / "store",
+                                   shard_edges=shard_edges)
+        mapped = store.as_graph()
+        if mapped.fingerprint() != graph.fingerprint():
+            fail(f"shard round trip changed the fingerprint: "
+                 f"{graph.fingerprint()} -> {mapped.fingerprint()}")
+        store.verify()
+
+        vec = run_vectorized(case.make_algorithm(graph), graph)
+        with temporary_run_cache():
+            streamed = run_sharded(case.make_algorithm(graph), store)
+        if streamed.iterations != vec.iterations:
+            fail(f"sharded executor iterated {streamed.iterations}x, "
+                 f"vectorized {vec.iterations}x")
+        if streamed.active_sources != vec.active_sources:
+            fail("sharded executor's active-source trace diverged: "
+                 f"{streamed.active_sources} vs {vec.active_sources}")
+        assert_values_match(case, vec.values, streamed.values,
+                            "sharded vs vectorized")
+
+        try:
+            with temporary_run_cache():
+                clear_imbalance_cache()
+                whole = scheduled_counts(
+                    vec, case.workload(graph), config
+                )
+            with temporary_run_cache():
+                clear_imbalance_cache()
+                merged = sharded_scheduled_counts(
+                    vec, case.workload(mapped), config, store=store,
+                )
+        finally:
+            # The seeded memo keys on the graph fingerprint; drop it so
+            # later oracles compute rather than recall.
+            clear_imbalance_cache()
+        if merged != whole:
+            diffs = [
+                f"{f.name}: {getattr(whole, f.name)!r} != "
+                f"{getattr(merged, f.name)!r}"
+                for f in dataclasses.fields(ScheduleCounts)
+                if getattr(whole, f.name) != getattr(merged, f.name)
+            ]
+            fail("merged per-shard counts are not bit-identical to the "
+                 "whole-graph counts — " + "; ".join(diffs))
+
+
 @oracle(
     "zero-fault",
     "an all-zero fault profile is bit-identical to no profile at all",

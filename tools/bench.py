@@ -51,6 +51,13 @@ SMOKE_MIN_SPEEDUP = 1.05
 SWEEP_MIN_SPEEDUP = 1.4
 HOTPATH_MIN_SPEEDUP = 1.3
 
+# --scenario outofcore floor: the streamed PR convergence must sustain
+# at least this many edge-traversals per second.  Far below what the
+# vectorized kernels measure (tens of millions/s) so runner noise and
+# slow CI disks cannot flake the gate, while a path that silently fell
+# back to per-edge work would still fail it.
+OUTOFCORE_MIN_EDGES_PER_S = 500_000.0
+
 # --smoke parallel_not_slower: jobs=2 may exceed serial wall-clock by
 # at most this factor on >= 2 cores (grace absorbs shared-runner
 # noise; a fan-out that genuinely loses to serial — e.g. graphs
@@ -130,6 +137,39 @@ def run_hotpath_scenario(args: argparse.Namespace) -> int:
               "multi-core host", file=sys.stderr)
         failed = True
     return 1 if failed else 0
+
+
+def run_outofcore_scenario(args: argparse.Namespace) -> int:
+    from repro.perf.bench import bench_outofcore_scenario, write_bench
+
+    floor = (OUTOFCORE_MIN_EDGES_PER_S if args.min_edges_per_s is None
+             else args.min_edges_per_s)
+    payload = bench_outofcore_scenario(
+        num_vertices=args.ooc_vertices,
+        num_edges=args.ooc_edges,
+        shard_edges=args.ooc_shard_edges,
+        jobs=args.jobs,
+    )
+    payload["min_edges_per_s"] = floor
+    path = write_bench(payload, args.output)
+    budget = payload["memory_budget"]
+    pr = payload["algorithms"]["PR"]
+    print(f"outofcore scenario [|V|={payload['num_vertices']:,} "
+          f"|E|={payload['num_edges']:,}, "
+          f"{payload['num_shards']} shard(s)]: "
+          f"generate {payload['generate_s']:.1f}s "
+          f"({payload['generate_edges_per_s']:,.0f} e/s), "
+          f"verify {payload['verify_s']:.1f}s, "
+          f"PR x{pr['iterations']} {pr['converge_s']:.1f}s "
+          f"({pr['edges_per_s']:,.0f} e/s), "
+          f"counts {payload['counts_s']:.1f}s; resident "
+          f"{budget['resident_bytes'] / 2**20:,.0f} MiB vs "
+          f"{budget['disk_bytes'] / 2**20:,.0f} MiB on disk; wrote {path}")
+    if pr["edges_per_s"] < floor:
+        print(f"FAIL: streamed PR sustained {pr['edges_per_s']:,.0f} "
+              f"edges/s, floor is {floor:,.0f}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _timed_subprocess(experiment: str, env: dict) -> float:
@@ -247,14 +287,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="payload path (default BENCH.json)")
     parser.add_argument("--smoke", action="store_true",
                         help="cold-vs-warm cache regression check")
-    parser.add_argument("--scenario", choices=["sweep", "hotpath"],
+    parser.add_argument("--scenario",
+                        choices=["sweep", "hotpath", "outofcore"],
                         help="timed scenario: 'sweep' prices a "
                              "32-point density x BPG-timeout grid "
                              "serially and batched (cold + warm); "
                              "'hotpath' times fig20/fig21/the "
                              "executor-model ablation cold+warm plus "
                              "batched-vs-serial request replay and a "
-                             "jobs-vs-serial fan-out on >= 2 cores")
+                             "jobs-vs-serial fan-out on >= 2 cores; "
+                             "'outofcore' streams an R-MAT to an "
+                             "on-disk shard store at paper scale "
+                             "(default: live-journal's 4.85M/69M) and "
+                             "times generation, verification, streamed "
+                             "PR/BFS and the per-shard counts merge")
+    parser.add_argument("--ooc-vertices", type=int, default=4_850_000,
+                        help="--scenario outofcore: vertex count "
+                             "(default: live-journal's 4,850,000)")
+    parser.add_argument("--ooc-edges", type=int, default=69_000_000,
+                        help="--scenario outofcore: edge count "
+                             "(default: live-journal's 69,000,000)")
+    parser.add_argument("--ooc-shard-edges", type=int, default=1 << 22,
+                        help="--scenario outofcore: edges per shard "
+                             "(default 2^22)")
+    parser.add_argument("--min-edges-per-s", type=float, default=None,
+                        help="--scenario outofcore: minimum sustained "
+                             "streamed-PR rate (defaults to "
+                             f"{OUTOFCORE_MIN_EDGES_PER_S:,.0f})")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="--smoke / --scenario: minimum speedup "
                              "ratio (defaults to "
@@ -274,6 +333,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_sweep_scenario(args)
     if args.scenario == "hotpath":
         return run_hotpath_scenario(args)
+    if args.scenario == "outofcore":
+        return run_outofcore_scenario(args)
     return run_bench(args)
 
 
