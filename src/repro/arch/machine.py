@@ -660,26 +660,37 @@ def _shared_sram(
 def _check_grid_config(
     config: HyVEConfig, head: HyVEConfig, counts: ScheduleCounts
 ) -> None:
-    """Reject a config whose schedule would differ from ``counts``."""
+    """Reject a config whose schedule would differ from ``counts``.
+
+    Every mismatched knob is collected before raising, so a tuner
+    debugging a wide grid sees the whole shape of the problem in one
+    :class:`ConfigError` instead of peeling mismatches off one by one.
+    """
     from .config import choose_num_intervals
 
+    problems: list[str] = []
     if config.num_pus != counts.num_pus:
-        raise ConfigError(
-            f"fold_many: config {config.label!r} has num_pus="
-            f"{config.num_pus}, counts expect {counts.num_pus}"
+        problems.append(
+            f"num_pus={config.num_pus}, counts expect {counts.num_pus}"
         )
     p = choose_num_intervals(config, counts.vertices, counts.vertex_bits)
     if p != counts.num_intervals:
-        raise ConfigError(
-            f"fold_many: config {config.label!r} partitions into {p} "
-            f"intervals, counts expect {counts.num_intervals}"
+        problems.append(
+            f"partitions into {p} intervals, counts expect "
+            f"{counts.num_intervals}"
         )
     for flag in ("has_onchip", "data_sharing", "hash_placement"):
         if getattr(config, flag) != getattr(head, flag):
-            raise ConfigError(
-                f"fold_many: config {config.label!r} differs from the "
-                f"grid on {flag}; group configs by counts key first"
+            problems.append(
+                f"{flag}={getattr(config, flag)} differs from the "
+                f"grid's {getattr(head, flag)}"
             )
+    if problems:
+        raise ConfigError(
+            f"fold_many: config {config.label!r} does not share the "
+            f"grid's schedule — " + "; ".join(problems)
+            + "; group configs by counts key first"
+        )
 
 
 def fold_many(

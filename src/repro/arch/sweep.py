@@ -657,6 +657,38 @@ def sweep(
     return points
 
 
+def sweep_axis(
+    values: Sequence[Any],
+    make_config: Callable[[Any], HyVEConfig],
+    algorithm_factory: Callable[[], EdgeCentricAlgorithm],
+    workload: Workload | Graph,
+    faults=None,
+):
+    """Price one axis of prepared configurations simulate-once.
+
+    The cacti-style component-sweep idiom shared by the figure drivers
+    and the autotuner: map each axis value to a full
+    :class:`HyVEConfig` with ``make_config`` and price the whole axis
+    through :func:`repro.perf.batch.run_grid` (converge once, expand
+    each distinct counts key once, fold each group vectorized).
+    Returns one :class:`~repro.arch.machine.SimulationResult` per
+    value, in order, bit-identical to a serial ``run()`` loop.
+
+    Unlike :func:`sweep` this takes a config *constructor*, so axes
+    that live inside nested device dataclasses (densities, BPG
+    timeouts, cell bits) sweep without hand-building the grid at every
+    call site.
+    """
+    from ..perf.batch import run_grid
+
+    return run_grid(
+        algorithm_factory(),
+        workload,
+        [make_config(value) for value in values],
+        faults=faults,
+    )
+
+
 def points_to_csv(points: list[SweepPoint]) -> str:
     """Render a sweep as CSV (one row per point, in sweep order).
 

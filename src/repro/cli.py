@@ -16,6 +16,10 @@ Commands:
 * ``verify`` — fuzz the differential-conformance oracles: random
   graphs/configs through every redundant execution path, mismatches
   shrunk and written as replayable repro files (docs/verification.md).
+* ``optimize`` — search the machine design space (HyVE, GraphR, CPU
+  backends) for Pareto-optimal (time, energy, EDP) configurations and
+  print a recommended machine per (dataset, algorithm) cell
+  (docs/autotuning.md).
 
 ``run``, ``compare`` and ``experiment`` also accept ``--trace-out PATH``
 to record a trace of whatever they execute (see docs/observability.md).
@@ -35,6 +39,9 @@ Examples::
     python -m repro verify --seed 0 --cases 50
     python -m repro verify --list
     python -m repro verify --replay tests/corpus/some-repro.json
+    python -m repro optimize --dataset YT --dataset LJ --algorithm pr
+    python -m repro optimize --engine guided --budget 200 --weight edp=1
+    python -m repro optimize --backend hyve --frontier-out frontier.csv
 
 Operator errors (unknown names, unreadable graph files, malformed edge
 lists) print one ``error:`` line on stderr and exit with status 2.
@@ -301,6 +308,85 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if summary.ok else 1
 
 
+def _parse_weights(pairs: "list[str] | None") -> dict[str, float] | None:
+    """Parse repeated ``--weight name=value`` flags into a dict."""
+    from .tune import OBJECTIVES
+
+    if not pairs:
+        return None
+    weights: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep or name not in OBJECTIVES:
+            raise ReproError(
+                f"bad --weight {pair!r}; expected name=value with name "
+                f"in {{{', '.join(OBJECTIVES)}}}"
+            )
+        try:
+            weights[name] = float(raw)
+        except ValueError:
+            raise ReproError(
+                f"bad --weight {pair!r}: {raw!r} is not a number"
+            ) from None
+    return weights
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from .algorithms import make_algorithm as _make_algorithm
+    from .tune import (
+        BACKENDS,
+        default_space,
+        format_recommendations,
+        frontiers_to_csv,
+        recommend,
+        search,
+    )
+
+    datasets = args.dataset or ["YT", "LJ"]
+    algorithms = args.algorithm or ["pr", "bfs"]
+    backends = args.backend or list(BACKENDS)
+    weights = _parse_weights(args.weight)
+    # The guided engine only guides when it cannot afford everything;
+    # the structural HyVE space is what makes a budget meaningful.
+    structural = args.engine == "guided"
+    spaces = [default_space(b, structural=structural) for b in backends]
+    frontiers = []
+    with _tracing(args.trace_out):
+        for dataset in datasets:
+            workload = Workload.from_dataset(dataset)
+            for algorithm_name in algorithms:
+                frontier = search(
+                    _make_algorithm(algorithm_name),
+                    workload,
+                    spaces,
+                    engine=args.engine,
+                    budget=args.budget,
+                    seed=args.seed,
+                )
+                frontiers.append(frontier)
+                print(
+                    f"[{dataset} {algorithm_name}] priced "
+                    f"{frontier.evaluated} config(s) "
+                    f"({frontier.skipped} invalid corner(s) skipped), "
+                    f"frontier holds {len(frontier)} point(s)",
+                    file=sys.stderr,
+                )
+    if args.frontier_out:
+        from pathlib import Path
+
+        Path(args.frontier_out).write_text(frontiers_to_csv(frontiers))
+        print(f"[frontier written to {args.frontier_out}]",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps([f.to_dict() for f in frontiers], indent=2,
+                         sort_keys=True))
+    else:
+        print(format_recommendations(recommend(frontiers, weights)))
+    if args.verbose:
+        _print_cache_stats()
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from .errors import StoreError
     from .perf.cache import get_run_cache
@@ -459,6 +545,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay repro file(s) instead of fuzzing; "
                              "exits 1 if any still fails")
 
+    optimize = sub.add_parser(
+        "optimize",
+        help="search the machine design space for Pareto-optimal "
+             "(time, energy, EDP) configurations (docs/autotuning.md)")
+    optimize.add_argument("--dataset", action="append",
+                          choices=DATASET_ORDER, metavar="NAME",
+                          help="dataset to tune for (repeatable; "
+                               "default: YT and LJ)")
+    optimize.add_argument("--algorithm", action="append",
+                          choices=ALGORITHM_NAMES, metavar="NAME",
+                          help="algorithm to tune for (repeatable; "
+                               "default: pr and bfs)")
+    optimize.add_argument("--backend", action="append",
+                          choices=("hyve", "graphr", "cpu"),
+                          help="backend space(s) to search (repeatable; "
+                               "default: all three)")
+    optimize.add_argument("--engine", choices=("exhaustive", "guided"),
+                          default="exhaustive",
+                          help="exhaustive: price every configuration; "
+                               "guided: budgeted successive halving over "
+                               "the structural space")
+    optimize.add_argument("--budget", type=int, default=None,
+                          metavar="N",
+                          help="max configurations the guided engine "
+                               "prices (default: everything)")
+    optimize.add_argument("--seed", type=int, default=0,
+                          help="guided-engine sampling seed (default 0; "
+                               "same seed => same frontier)")
+    optimize.add_argument("--weight", action="append", metavar="OBJ=W",
+                          help="objective weight for the recommendation, "
+                               "e.g. --weight edp=2 --weight time=1 "
+                               "(repeatable; named objectives: time, "
+                               "energy, edp; unnamed ones drop to 0)")
+    optimize.add_argument("--frontier-out", metavar="PATH",
+                          help="write every frontier point as CSV")
+    optimize.add_argument("--json", action="store_true",
+                          help="print the frontiers as JSON instead of "
+                               "the recommendation table")
+    optimize.add_argument("--verbose", action="store_true",
+                          help="print run-cache statistics at the end")
+    add_trace_arg(optimize)
+
     cache = sub.add_parser("cache",
                            help="inspect or maintain the persistent run "
                                 "cache (see docs/robustness.md)")
@@ -487,6 +615,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "metrics": cmd_metrics,
         "verify": cmd_verify,
+        "optimize": cmd_optimize,
     }
     try:
         return handlers[args.command](args)

@@ -7,6 +7,7 @@ from ..errors import ConfigError
 
 from . import (
     ablations,
+    autotune,
     headline,
     outofcore,
     resilience,
@@ -64,6 +65,7 @@ ALL_EXPERIMENTS = {
     "ablation_init_cost": ablations.run_init_cost,
     "ablation_placement": ablations.run_placement,
     "headline": headline.run,
+    "autotune": autotune.run,
     "sensitivity": sensitivity.run,
     "resilience": resilience.run,
     "outofcore": outofcore.run,

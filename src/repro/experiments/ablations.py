@@ -106,15 +106,14 @@ def run_bpg_timeout(
         headers=["Dataset"] + [f"{t:g} us" for t in timeouts_us],
         notes="longer timeouts keep more banks powered after their use",
     )
-    from ..perf.batch import run_grid
+    from ..arch.sweep import sweep_axis
 
-    configs = [
-        HyVEConfig(
+    def make_config(t: float) -> HyVEConfig:
+        return HyVEConfig(
             label=f"bpg-{t}",
             power_gating=PowerGatingPolicy(idle_timeout=t * US),
         )
-        for t in timeouts_us
-    ]
+
     # The timeout only changes pricing, so all points share one
     # schedule-counts expansion per workload (simulate once).
     for dataset, workload in workloads().items():
@@ -122,7 +121,9 @@ def run_bpg_timeout(
             dataset,
             *[
                 r.report.mteps_per_watt
-                for r in run_grid(PageRank(), workload, configs)
+                for r in sweep_axis(
+                    timeouts_us, make_config, PageRank, workload
+                )
             ],
         )
     return result
@@ -215,16 +216,15 @@ def run_density(
             "fewer chips; HyVE's efficiency is density-robust"
         ),
     )
-    from ..perf.batch import run_grid
+    from ..arch.sweep import sweep_axis
 
-    configs = [
-        HyVEConfig(
+    def make_config(d: int) -> HyVEConfig:
+        return HyVEConfig(
             label=f"d{d}",
             reram=ReRAMConfig(density_bits=d * GBIT),
             dram=DRAMConfig(density_bits=d * GBIT),
         )
-        for d in densities_gbit
-    ]
+
     # Density is a pure pricing knob: one counts expansion per workload
     # prices every density in a single vectorized fold.
     for dataset, workload in workloads().items():
@@ -232,7 +232,9 @@ def run_density(
             dataset,
             *[
                 r.report.mteps_per_watt
-                for r in run_grid(PageRank(), workload, configs)
+                for r in sweep_axis(
+                    densities_gbit, make_config, PageRank, workload
+                )
             ],
         )
     return result
@@ -251,11 +253,11 @@ def run_pu_count(
             "SRAM banks, leakage and synchronisation"
         ),
     )
-    from ..perf.batch import run_grid
+    from ..arch.sweep import sweep_axis
 
-    configs = [
-        HyVEConfig(label=f"n{n}", num_pus=n) for n in counts
-    ]
+    def make_config(n: int) -> HyVEConfig:
+        return HyVEConfig(label=f"n{n}", num_pus=n)
+
     # Each N is its own counts key (N appears in Equations (7)-(8)),
     # but the shared convergence and counts memo still apply.
     for dataset, workload in workloads().items():
@@ -263,7 +265,7 @@ def run_pu_count(
             dataset,
             *[
                 r.report.mteps_per_watt
-                for r in run_grid(PageRank(), workload, configs)
+                for r in sweep_axis(counts, make_config, PageRank, workload)
             ],
         )
     return result

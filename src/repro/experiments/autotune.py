@@ -1,0 +1,73 @@
+"""Autotune experiment: HyVE vs GraphR as a *discovered* frontier.
+
+Section 6 of the paper argues the hybrid hierarchy beats GraphR's
+all-ReRAM design point on time, energy and EDP — but makes that case
+with two hand-picked configurations.  This experiment re-derives the
+claim from the design space itself: search every backend's default
+space (named HyVE machines x pricing knobs, GraphR crossbar shapes,
+CPU baselines) per (dataset, algorithm) cell and report what the
+(time, energy, EDP) Pareto frontier actually contains.  The paper's
+comparison holds exactly when the recommended machine is a HyVE
+hybrid and no GraphR point survives onto the frontier.
+"""
+
+from __future__ import annotations
+
+from ..tune import default_space, search
+from .common import ALL_ALGORITHM_FACTORIES, ExperimentResult, workloads
+
+
+def run(
+    datasets: "list[str] | None" = None,
+    algorithms: "tuple[str, ...]" = ("PR", "BFS"),
+) -> ExperimentResult:
+    """Search the full machine space per (dataset, algorithm) cell."""
+    all_workloads = workloads()
+    if datasets is None:
+        datasets = list(all_workloads)
+    result = ExperimentResult(
+        experiment="autotune",
+        title=(
+            "Discovered (time, energy, EDP) Pareto frontier over the "
+            "machine space (HyVE / GraphR / CPU backends)"
+        ),
+        headers=[
+            "Dataset",
+            "Algo",
+            "Priced",
+            "Frontier",
+            "Recommended machine",
+            "Time (ms)",
+            "Energy (mJ)",
+            "MTEPS/W",
+            "GraphR on frontier",
+        ],
+        notes=(
+            "recommended = equal-weight scalarization of the frontier; "
+            "'GraphR on frontier: no' means every all-ReRAM point is "
+            "dominated by a hybrid one (the Section 6 claim, "
+            "rediscovered rather than asserted)"
+        ),
+    )
+    spaces = [default_space(b) for b in ("hyve", "graphr", "cpu")]
+    for dataset in datasets:
+        workload = all_workloads[dataset]
+        for algorithm_name in algorithms:
+            factory = ALL_ALGORITHM_FACTORIES[algorithm_name]
+            frontier = search(factory(), workload, spaces)
+            best = frontier.best()
+            graphr_survives = any(
+                point.backend == "graphr" for point in frontier.points
+            )
+            result.add(
+                dataset,
+                algorithm_name,
+                frontier.evaluated,
+                len(frontier),
+                f"{best.backend}:{best.label}",
+                round(best.time * 1e3, 3),
+                round(best.energy * 1e3, 3),
+                round(best.mteps_per_watt, 2),
+                "yes" if graphr_survives else "no",
+            )
+    return result

@@ -56,6 +56,10 @@ COUNTS_CACHE_HITS = "counts_cache_hits"
 COUNTS_CACHE_MISSES = "counts_cache_misses"
 #: Configurations priced by the vectorized batch fold (fold_many).
 FOLD_MANY_CONFIGS = "fold_many_configs"
+#: Configurations priced by the design-space autotuner (all backends).
+TUNE_CONFIGS_PRICED = "tune_configs_priced"
+#: Size of the most recent Pareto frontier the autotuner extracted.
+TUNE_FRONTIER_SIZE = "tune_frontier_size"
 #: Current number of entries in the scheduler's imbalance memo.
 IMBALANCE_CACHE_SIZE = "imbalance_cache_size"
 #: Sweep-point retry attempts beyond the first try.

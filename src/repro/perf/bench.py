@@ -209,6 +209,122 @@ def bench_sweep_scenario(
     }
 
 
+def bench_tune_scenario(repeats: int = 3) -> dict:
+    """Autotuner throughput + guided-engine regret.
+
+    Two claims under test (ISSUE 9 acceptance):
+
+    * **Throughput** — the exhaustive engine over a 360-point
+      pricing-only space (one counts key) must price >=10^4
+      configurations/second once the counts cache is warm.  One cold
+      search is untimed setup (it pays convergence + the counts
+      expansion); ``repeats`` warm searches are timed end-to-end,
+      including Pareto extraction.
+    * **Regret** — the guided engine on a small enumerable mixed space
+      must have *zero* regret vs exhaustive at full budget (identical
+      frontier), and its reduced-budget EDP regret is recorded for
+      trend tracking (not gated: halving legitimately trades a little
+      quality for budget).
+    """
+    import tempfile
+
+    from ..algorithms import PageRank
+    from ..algorithms.runner import run_cached
+    from ..arch import machine as machine_mod
+    from ..arch.config import Workload
+    from ..graph.generators import rmat
+    from ..tune import SearchSpace, exhaustive_search, guided_search
+    from .cache import RunCache, get_run_cache, set_run_cache
+
+    pricing_space = SearchSpace.from_axes({
+        "region_hit_rate": (0.5, 0.7, 0.85, 0.95, 1.0),
+        "density_gbit": (4, 8, 16, 32),
+        "bpg_timeout_us": (0.1, 0.5, 1.0, 5.0, 20.0, 100.0),
+        "random_access_mlp": (4, 8, 16),
+    })  # 5 x 4 x 6 x 3 = 360 configs sharing one counts key
+    guided_space = SearchSpace.from_axes({
+        "machine": ("acc+HyVE-opt", "acc+DRAM"),
+        "num_pus": (4, 8),
+        "region_hit_rate": (0.7, 0.85, 1.0),
+        "density_gbit": (4, 8),
+    })  # 24 configs over 4 counts keys — small enough to enumerate
+    graph = rmat(4096, 32768, seed=42, name="bench-tune")
+    workload = Workload(graph, reported_vertices=4_096_000,
+                        reported_edges=32_768_000)
+    algorithm = PageRank()
+
+    previous = get_run_cache()
+    repeats = max(repeats, 1)
+    warm_s = cold_s = 0.0
+    frontier_size = 0
+    try:
+        scratch = tempfile.mkdtemp(prefix="repro-bench-tune-")
+        set_run_cache(RunCache(directory=scratch))
+        machine_mod._DEVICE_MEMO.clear()
+        machine_mod._SRAM_MEMO.clear()
+        run_cached(algorithm, workload.graph)  # untimed convergence
+
+        start = time.perf_counter()
+        exhaustive_search(algorithm, workload, pricing_space)
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(repeats):
+            frontier = exhaustive_search(algorithm, workload,
+                                         pricing_space)
+            frontier_size = len(frontier)
+        warm_s = time.perf_counter() - start
+        configs_per_s = pricing_space.size * repeats / warm_s
+
+        exhaustive = exhaustive_search(algorithm, workload, guided_space)
+        full = guided_search(algorithm, workload, guided_space,
+                             budget=guided_space.size, seed=0)
+
+        def frontier_key(f):
+            return [(p.index, p.label, p.time, p.energy, p.edp)
+                    for p in f.points]
+
+        def best_edp(f):
+            return min(p.edp for p in f.points)
+
+        reduced_budget = max(guided_space.size // 3, 2)
+        reduced = guided_search(algorithm, workload, guided_space,
+                                budget=reduced_budget, seed=0)
+        exact_edp = best_edp(exhaustive)
+        guided_payload = {
+            "space_size": guided_space.size,
+            "full_budget": {
+                "evaluated": full.evaluated,
+                "frontier_matches_exhaustive":
+                    frontier_key(full) == frontier_key(exhaustive),
+                "edp_regret": best_edp(full) / exact_edp - 1.0,
+            },
+            "reduced_budget": {
+                "budget": reduced_budget,
+                "evaluated": reduced.evaluated,
+                "edp_regret": best_edp(reduced) / exact_edp - 1.0,
+            },
+        }
+    finally:
+        set_run_cache(previous)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "scenario": "tune",
+        "points": pricing_space.size,
+        "repeats": repeats,
+        "frontier_size": frontier_size,
+        "exhaustive_cold_s": cold_s,
+        "exhaustive_warm_s": warm_s,
+        "configs_per_s_warm": configs_per_s,
+        "guided": guided_payload,
+    }
+
+
 #: The drivers the hot-path scenario times (the PR-7 bottlenecks).
 HOTPATH_EXPERIMENTS = ("fig20", "fig21", "ablation_execution_model")
 

@@ -157,6 +157,14 @@ class CacheStats:
     def counts_lookups(self) -> int:
         return self.counts_hits + self.counts_misses
 
+    @property
+    def counts_hit_rate(self) -> float:
+        """Fraction of counts lookups served from the memo (0 when no
+        lookups happened).  Tuner throughput is dominated by this ratio
+        — a cold counts cache re-expands Equations (3)-(8) per key."""
+        lookups = self.counts_lookups
+        return self.counts_hits / lookups if lookups else 0.0
+
     def to_dict(self) -> dict:
         return {
             "memory_hits": self.memory_hits,
@@ -183,11 +191,15 @@ class CacheStats:
 
     def counts_summary(self) -> str:
         """One line for the schedule-counts memo (CLI ``--verbose``)."""
+        rate = (
+            f"{self.counts_hit_rate:.1%} hit rate"
+            if self.counts_lookups else "no lookups"
+        )
         return (
             f"counts cache: {self.counts_hits} hit(s) "
             f"({self.counts_memory_hits} memory / "
             f"{self.counts_disk_hits} disk), "
-            f"{self.counts_misses} miss(es)"
+            f"{self.counts_misses} miss(es), {rate}"
         )
 
 

@@ -1,0 +1,69 @@
+"""Design-space autotuner: Pareto search over the full machine space.
+
+Public surface:
+
+* :class:`SearchSpace` / :class:`Candidate` / :func:`default_space` —
+  axis cross products per backend (HyVE, GraphR, CPU).
+* :func:`search` / :func:`exhaustive_search` / :func:`guided_search` —
+  the exhaustive vectorized engine and the budgeted successive-halving
+  engine, both returning a :class:`ParetoFrontier`.
+* :func:`pareto_mask` — exact vectorized non-dominated extraction.
+* :func:`recommend` / :func:`format_recommendations` — the
+  recommended-machine report behind ``repro optimize``.
+
+See docs/autotuning.md for the search-space table and engine selection
+rules.
+"""
+
+from .engine import (
+    ENGINES,
+    EXHAUSTIVE,
+    GUIDED,
+    exhaustive_search,
+    guided_search,
+    search,
+)
+from .frontier import (
+    DEFAULT_WEIGHTS,
+    OBJECTIVES,
+    FrontierPoint,
+    ParetoFrontier,
+    frontiers_to_csv,
+)
+from .pareto import pareto_indices, pareto_mask
+from .report import Recommendation, format_recommendations, recommend
+from .space import (
+    BACKEND_CPU,
+    BACKEND_GRAPHR,
+    BACKEND_HYVE,
+    BACKENDS,
+    Candidate,
+    SearchSpace,
+    default_space,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_CPU",
+    "BACKEND_GRAPHR",
+    "BACKEND_HYVE",
+    "Candidate",
+    "DEFAULT_WEIGHTS",
+    "ENGINES",
+    "EXHAUSTIVE",
+    "FrontierPoint",
+    "GUIDED",
+    "OBJECTIVES",
+    "ParetoFrontier",
+    "Recommendation",
+    "SearchSpace",
+    "default_space",
+    "exhaustive_search",
+    "format_recommendations",
+    "frontiers_to_csv",
+    "guided_search",
+    "pareto_indices",
+    "pareto_mask",
+    "recommend",
+    "search",
+]

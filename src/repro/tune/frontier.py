@@ -1,0 +1,167 @@
+"""Frontier result objects and their CSV/JSON emitters.
+
+A :class:`ParetoFrontier` is what a search returns: the non-dominated
+(time, energy, EDP) points over everything the engine priced, plus
+enough bookkeeping (evaluated / skipped counts, engine name) to judge
+how much of the space backs the frontier.  ``best()`` scalarizes the
+frontier with min-normalized objective weights, which is what the
+recommended-machine report and ``repro optimize --weight`` use.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..arch.report import EnergyReport
+from ..errors import ConfigError
+
+#: Objectives a frontier minimizes, in emitter column order.
+OBJECTIVES = ("time", "energy", "edp")
+
+#: Equal weighting across (time, energy, EDP) — the default scalarizer.
+DEFAULT_WEIGHTS = {"time": 1.0, "energy": 1.0, "edp": 1.0}
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated configuration with its priced objectives."""
+
+    index: int          #: global candidate index within the search
+    backend: str        #: "hyve" | "graphr" | "cpu"
+    label: str          #: the candidate's axis-assignment label
+    time: float         #: modelled execution time (s)
+    energy: float       #: total energy (J)
+    edp: float          #: energy-delay product (J*s), Equation (5)
+    mteps_per_watt: float
+    report: EnergyReport = field(repr=False, compare=False)
+
+    def objective(self, name: str) -> float:
+        if name not in OBJECTIVES:
+            raise ConfigError(
+                f"unknown objective {name!r}; "
+                f"known: {', '.join(OBJECTIVES)}"
+            )
+        return getattr(self, name)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "backend": self.backend,
+            "label": self.label,
+            "time": self.time,
+            "energy": self.energy,
+            "edp": self.edp,
+            "mteps_per_watt": self.mteps_per_watt,
+        }
+
+
+#: CSV schema shared by :meth:`ParetoFrontier.to_csv` and
+#: :func:`frontiers_to_csv`.
+CSV_HEADER = (
+    "graph,algorithm,engine,backend,label,"
+    "time_s,energy_j,edp,mteps_per_watt"
+)
+
+
+def _csv_rows(frontier: "ParetoFrontier") -> list[str]:
+    rows = []
+    for p in frontier.points:
+        rows.append(
+            f"{frontier.graph},{frontier.algorithm},{frontier.engine},"
+            f"{p.backend},{p.label},"
+            f"{p.time!r},{p.energy!r},{p.edp!r},{p.mteps_per_watt!r}"
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """The non-dominated set one search discovered for one workload.
+
+    ``points`` are sorted by ascending time (energy, EDP, label, index
+    break ties), so walking the frontier reads as the classic
+    fast-and-hungry -> slow-and-frugal trade-off curve.  ``evaluated``
+    counts configurations actually priced (for the guided engine this
+    is at most the budget), ``skipped`` counts cross-product corners
+    the config dataclasses rejected.
+    """
+
+    graph: str
+    algorithm: str
+    engine: str
+    evaluated: int
+    skipped: int
+    points: tuple[FrontierPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def best(self, weights: dict[str, float] | None = None) -> FrontierPoint:
+        """Scalarize the frontier with min-normalized objective weights.
+
+        Each objective is divided by its minimum over the frontier
+        (so weights compare like-for-like ratios, not raw J against s)
+        and the weighted sum is minimized.  Ties break deterministically
+        on (time, energy, EDP, label, index).
+        """
+        if not self.points:
+            raise ConfigError(
+                f"frontier for {self.algorithm} on {self.graph} is "
+                f"empty; nothing to recommend"
+            )
+        merged = dict(DEFAULT_WEIGHTS)
+        if weights:
+            unknown = sorted(set(weights) - set(OBJECTIVES))
+            if unknown:
+                raise ConfigError(
+                    f"unknown objective weight(s): {', '.join(unknown)}; "
+                    f"known: {', '.join(OBJECTIVES)}"
+                )
+            merged = {name: 0.0 for name in OBJECTIVES}
+            merged.update(weights)
+        mins = {
+            name: min(p.objective(name) for p in self.points)
+            for name in OBJECTIVES
+        }
+
+        def score(p: FrontierPoint) -> float:
+            total = 0.0
+            for name, weight in merged.items():
+                floor = mins[name]
+                total += weight * (
+                    p.objective(name) / floor if floor > 0
+                    else p.objective(name)
+                )
+            return total
+
+        return min(
+            self.points,
+            key=lambda p: (score(p), p.time, p.energy, p.edp,
+                           p.label, p.index),
+        )
+
+    def to_csv(self) -> str:
+        """One CSV table (header + one row per frontier point)."""
+        return "\n".join([CSV_HEADER, *_csv_rows(self)]) + "\n"
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.graph,
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "evaluated": self.evaluated,
+            "skipped": self.skipped,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def frontiers_to_csv(frontiers: "list[ParetoFrontier]") -> str:
+    """Concatenate frontiers into one CSV (single shared header)."""
+    rows = [CSV_HEADER]
+    for frontier in frontiers:
+        rows.extend(_csv_rows(frontier))
+    return "\n".join(rows) + "\n"

@@ -1,0 +1,57 @@
+"""Exact vectorized Pareto-frontier extraction (minimization).
+
+The tuner's objective vectors are tiny tuples — (time, energy, EDP) —
+over up to tens of thousands of priced configurations, so the
+non-dominated set is computed exactly with one blocked NumPy dominance
+matrix rather than an approximate sort.  Duplicated frontier points
+all survive (neither strictly dominates the other), which keeps the
+extraction order-independent: permuting the input rows permutes the
+mask identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Rows per dominance block: bounds the broadcast matrix at
+#: ``_BLOCK x n x k`` floats, so a 10^5-point space stays in cache-sized
+#: chunks instead of allocating an n^2 boolean matrix at once.
+_BLOCK = 256
+
+
+def pareto_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of ``objectives``.
+
+    All columns are minimized.  Row ``a`` dominates row ``b`` when
+    ``a <= b`` on every objective and ``a < b`` on at least one;
+    a row survives iff no other row dominates it.  Exact (no epsilon),
+    deterministic, and order-independent — identical rows either all
+    survive or all fall together.
+
+    >>> import numpy as np
+    >>> pareto_mask(np.array([[1.0, 4.0], [2.0, 2.0], [3.0, 3.0]]))
+    array([ True,  True, False])
+    """
+    points = np.asarray(objectives, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(
+            f"objectives must be a 2-D (points x objectives) array, "
+            f"got shape {points.shape}"
+        )
+    n = points.shape[0]
+    mask = np.ones(n, dtype=bool)
+    if n == 0:
+        return mask
+    for start in range(0, n, _BLOCK):
+        block = points[start:start + _BLOCK]
+        # le[i, j]: candidate j is <= block row i on every objective;
+        # lt[i, j]: ... and strictly better somewhere => j dominates i.
+        le = (points[None, :, :] <= block[:, None, :]).all(axis=-1)
+        lt = (points[None, :, :] < block[:, None, :]).any(axis=-1)
+        mask[start:start + _BLOCK] = ~(le & lt).any(axis=1)
+    return mask
+
+
+def pareto_indices(objectives: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated rows, in input order."""
+    return np.flatnonzero(pareto_mask(objectives))

@@ -1,0 +1,79 @@
+"""Recommended-machine report over a batch of frontiers.
+
+``repro optimize`` searches several (graph, algorithm) cells and then
+wants one answer per cell: the machine to build.  :func:`recommend`
+scalarizes each frontier with :meth:`ParetoFrontier.best` and
+:func:`format_recommendations` renders the aligned text table the CLI
+prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .frontier import FrontierPoint, ParetoFrontier
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The scalarized winner of one (graph, algorithm) frontier."""
+
+    graph: str
+    algorithm: str
+    point: FrontierPoint
+    frontier_size: int
+    evaluated: int
+
+
+def recommend(
+    frontiers: "list[ParetoFrontier]",
+    weights: dict[str, float] | None = None,
+) -> "list[Recommendation]":
+    """One :class:`Recommendation` per frontier, in input order."""
+    return [
+        Recommendation(
+            graph=frontier.graph,
+            algorithm=frontier.algorithm,
+            point=frontier.best(weights),
+            frontier_size=len(frontier),
+            evaluated=frontier.evaluated,
+        )
+        for frontier in frontiers
+    ]
+
+
+def format_recommendations(
+    recommendations: "list[Recommendation]",
+) -> str:
+    """Aligned text table: one recommended machine per cell."""
+    if not recommendations:
+        return "(no frontiers searched)"
+    headers = (
+        "graph", "algorithm", "recommended machine",
+        "time (ms)", "energy (mJ)", "MTEPS/W", "frontier",
+    )
+    rows = [
+        (
+            rec.graph,
+            rec.algorithm,
+            f"{rec.point.backend}:{rec.point.label}",
+            f"{rec.point.time * 1e3:.3f}",
+            f"{rec.point.energy * 1e3:.3f}",
+            f"{rec.point.mteps_per_watt:.2f}",
+            f"{rec.frontier_size}/{rec.evaluated}",
+        )
+        for rec in recommendations
+    ]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -569,3 +569,73 @@ def zero_fault_passthrough(case: Case) -> None:
                              "zero-fault profile")
     assert_values_match(case, plain.run.values, zeroed.run.values,
                         "zero-fault profile values")
+
+
+#: Pricing-only axes the tuner oracle cross-products over the case's
+#: config: 12 candidates, one counts key, exercising the grouped fold
+#: path against per-point machine runs.
+TUNER_AXES = {
+    "region_hit_rate": (0.5, 0.85, 1.0),
+    "density_gbit": (4, 8),
+    "bpg_timeout_us": (0.5, 5.0),
+}
+
+
+@oracle(
+    "tuner-identity",
+    "exhaustive autotuner frontier == brute-force per-point run() "
+    "frontier, bit-for-bit",
+    stride=3,
+)
+def tuner_identity(case: Case) -> None:
+    """The exhaustive engine's promise (docs/autotuning.md).
+
+    Builds a small pricing-only space over the case's config, searches
+    it with :func:`repro.tune.exhaustive_search`, and independently
+    reconstructs the frontier the slow way: one serial
+    ``AcceleratorMachine.run`` per candidate plus an O(n^2) Python
+    dominance scan.  The two frontiers must select the same candidate
+    indices, and each selected report must be field-identical —
+    pricing through the vectorized grouped fold must never move a
+    point on or off the frontier.
+    """
+    from ..tune import SearchSpace, exhaustive_search
+
+    graph = case.graph()
+    workload = case.workload(graph)
+    space = SearchSpace.from_axes(TUNER_AXES, base=case.config())
+    frontier = exhaustive_search(case.make_algorithm(graph), workload,
+                                 space)
+
+    candidates, skipped = space.candidates()
+    if skipped:
+        fail(f"pricing-only axes skipped {skipped} combo(s); the "
+             f"oracle space must enumerate fully")
+    if frontier.evaluated != len(candidates):
+        fail(f"exhaustive engine priced {frontier.evaluated} of "
+             f"{len(candidates)} candidate(s)")
+    reports = [
+        AcceleratorMachine(cand.config).run(
+            case.make_algorithm(graph), workload
+        ).report
+        for cand in candidates
+    ]
+    objectives = [(r.time, r.total_energy, r.edp) for r in reports]
+    brute = set()
+    for i, a in enumerate(objectives):
+        dominated = any(
+            all(b[k] <= a[k] for k in range(3))
+            and any(b[k] < a[k] for k in range(3))
+            for b in objectives
+        )
+        if not dominated:
+            brute.add(i)
+    tuned = {point.index for point in frontier.points}
+    if tuned != brute:
+        fail(f"frontier membership differs: tuner chose "
+             f"{sorted(tuned)}, brute force {sorted(brute)}")
+    for point in frontier.points:
+        assert_reports_identical(
+            point.report, reports[point.index],
+            f"frontier point {point.label!r}",
+        )

@@ -30,7 +30,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Files whose fenced ``>>>`` examples must execute cleanly.
-DOCTEST_FILES = ("docs/observability.md", "docs/scaling.md")
+DOCTEST_FILES = (
+    "docs/autotuning.md",
+    "docs/observability.md",
+    "docs/scaling.md",
+)
 
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
