@@ -1010,3 +1010,60 @@ def make_machine(
         known = ", ".join(NAMED_CONFIGS)
         raise ConfigError(f"unknown machine {name!r}; known: {known}")
     return AcceleratorMachine(NAMED_CONFIGS[name](), faults=faults)
+
+
+def fold_time_slices(slices) -> EnergyReport:
+    """Time-sliced energy attribution over an evolving graph.
+
+    ``slices`` is a sequence of ``(start, end, report)`` spans — e.g.
+    :class:`repro.dynamic.temporal.TimeSlice` — where ``report`` priced
+    the snapshot alive over the half-open logical interval
+    ``[start, end)``.  Each span contributes its per-run quantities
+    weighted by its width in logical ticks (a snapshot that stayed
+    live three times as long is attributed three times the energy and
+    busy time), and the weighted spans add into one aggregate
+    :class:`EnergyReport` labelled with the covered window.
+
+    Spans must be non-empty, share one machine and algorithm, and be
+    sorted and non-overlapping; violations raise
+    :class:`ConfigError`.
+    """
+    spans = [
+        (s.start, s.end, s.report) if hasattr(s, "report") else tuple(s)
+        for s in slices
+    ]
+    if not spans:
+        raise ConfigError("fold_time_slices needs at least one slice")
+    prev_end = None
+    for start, end, _ in spans:
+        if end <= start:
+            raise ConfigError(f"empty time slice [{start}, {end})")
+        if prev_end is not None and start < prev_end:
+            raise ConfigError(
+                f"time slices overlap at t={start} (previous span ends "
+                f"at {prev_end})"
+            )
+        prev_end = end
+    head = spans[0][2]
+    total = EnergyReport(
+        machine=head.machine,
+        algorithm=head.algorithm,
+        graph=f"{head.graph}[t{spans[0][0]}:t{spans[-1][1]}]",
+        edges_traversed=0.0,
+        iterations=0,
+        time=0.0,
+    )
+    for start, end, report in spans:
+        if (report.machine, report.algorithm) != (head.machine,
+                                                  head.algorithm):
+            raise ConfigError(
+                f"cannot fold {report.machine}/{report.algorithm} into "
+                f"{head.machine}/{head.algorithm} time slices"
+            )
+        width = end - start
+        total.edges_traversed += width * report.edges_traversed
+        total.iterations += width * report.iterations
+        total.time += width * report.time
+        for component, joules in report.energy.items():
+            total.add(component, width * joules)
+    return total

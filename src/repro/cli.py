@@ -20,6 +20,10 @@ Commands:
   backends) for Pareto-optimal (time, energy, EDP) configurations and
   print a recommended machine per (dataset, algorithm) cell
   (docs/autotuning.md).
+* ``stream`` — replay an ``hyve-updates-v1`` update log (or a seeded
+  synthetic stream) through the bounded-staleness engine, check the
+  incremental values against a from-scratch rebuild, and print the
+  staleness and throughput tables (docs/streaming.md).
 
 ``run``, ``compare`` and ``experiment`` also accept ``--trace-out PATH``
 to record a trace of whatever they execute (see docs/observability.md).
@@ -42,6 +46,8 @@ Examples::
     python -m repro optimize --dataset YT --dataset LJ --algorithm pr
     python -m repro optimize --engine guided --budget 200 --weight edp=1
     python -m repro optimize --backend hyve --frontier-out frontier.csv
+    python -m repro stream --log updates.jsonl --k 16
+    python -m repro stream --vertices 200 --updates 2000 --json
 
 Operator errors (unknown names, unreadable graph files, malformed edge
 lists) print one ``error:`` line on stderr and exit with status 2.
@@ -387,6 +393,101 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .algorithms import make_algorithm as _make_algorithm
+    from .algorithms.runner import run_vectorized
+    from .dynamic.stream import (READ_HEAVY, UPDATE_HEAVY, UPDATES_SCHEMA,
+                                 StreamEngine, UpdateLog,
+                                 generate_update_log, measure_stream)
+    from .graph.generators import rmat
+    from .perf.cache import temporary_run_cache
+
+    if args.log:
+        log = UpdateLog.load(args.log)
+    else:
+        base = rmat(args.vertices, args.edges, seed=args.seed,
+                    name="stream-cli")
+        log = generate_update_log(base, args.updates, seed=args.seed,
+                                  delete_fraction=args.delete_fraction)
+    events = log.to_arrays()
+    deletes = int(np.count_nonzero(events[:, 1] == 1))
+
+    with temporary_run_cache(""):
+        engine = StreamEngine(log.num_vertices, k=args.k, name=log.name) \
+            if args.k else StreamEngine(log.num_vertices, name=log.name)
+        engine.replay(log)
+        snapshot = engine.snapshot()
+        conforming = True
+        for name in engine.algorithms:
+            rebuilt = run_vectorized(_make_algorithm(name), snapshot).values
+            got = engine.query(name)
+            ok = (np.allclose(got, rebuilt, rtol=1e-12, atol=1e-12)
+                  if name == "pr" else np.array_equal(got, rebuilt))
+            conforming = conforming and ok
+        stats = engine.stats
+
+    mixes = {m.name: m for m in (UPDATE_HEAVY, READ_HEAVY)}
+    chosen = args.mix or list(mixes)
+    results = [measure_stream(log, mixes[m], k=args.k or None)
+               for m in chosen]
+
+    if args.json:
+        pending = stats.pending_at_flush
+        print(json.dumps({
+            "schema": UPDATES_SCHEMA,
+            "log": log.name,
+            "num_vertices": log.num_vertices,
+            "events": len(log),
+            "deletes": deletes,
+            "logical_time": engine.logical_time,
+            "live_edges": engine.num_edges,
+            "k": engine.k,
+            "incremental_matches_rebuild": bool(conforming),
+            "staleness": {
+                "flushes": stats.flushes,
+                "max_pending_at_flush": stats.max_pending_at_flush,
+                "mean_pending_at_flush":
+                    sum(pending) / len(pending) if pending else 0.0,
+                "incremental_refreshes": stats.incremental_refreshes,
+                "rebuilds": stats.rebuilds,
+            },
+            "mixes": [{
+                "mix": r.mix,
+                "num_updates": r.num_updates,
+                "num_queries": r.num_queries,
+                "flushes": r.flushes,
+                "updates_per_second": r.updates_per_second,
+                "speedup_vs_serial": r.speedup_vs_serial,
+            } for r in results],
+        }, indent=2, sort_keys=True))
+        return 0
+
+    print(f"log:          {log.name} ({UPDATES_SCHEMA})")
+    print(f"vertices:     {log.num_vertices}")
+    print(f"events:       {len(log)} ({len(log) - deletes} adds / "
+          f"{deletes} deletes, t0..t{engine.logical_time})")
+    print(f"live edges:   {engine.num_edges}")
+    print(f"incremental values match from-scratch rebuild: {conforming}")
+    print(f"\nstaleness contract (k={engine.k}, "
+          f"algorithms: {', '.join(engine.algorithms)}):")
+    pending = stats.pending_at_flush
+    mean_pending = sum(pending) / len(pending) if pending else 0.0
+    print(f"  flushes                {stats.flushes}")
+    print(f"  max pending at flush   {stats.max_pending_at_flush}")
+    print(f"  mean pending at flush  {mean_pending:.1f}")
+    print(f"  incremental refreshes  {stats.incremental_refreshes}")
+    print(f"  rebuilds               {stats.rebuilds}")
+    print("\nthroughput:")
+    for r in results:
+        print(f"  {r.mix}: {r.updates_per_second:,.0f} updates/s "
+              f"({r.speedup_vs_serial:.2f}x vs serial; "
+              f"{r.num_updates} updates, {r.num_queries} queries, "
+              f"{r.flushes} flushes)")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from .errors import StoreError
     from .perf.cache import get_run_cache
@@ -587,6 +688,34 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print run-cache statistics at the end")
     add_trace_arg(optimize)
 
+    stream = sub.add_parser(
+        "stream",
+        help="replay an update log through the bounded-staleness "
+             "streaming engine and print staleness + throughput tables "
+             "(docs/streaming.md)")
+    stream.add_argument("--log", metavar="FILE",
+                        help="hyve-updates-v1 JSONL log to replay "
+                             "(default: a seeded synthetic stream)")
+    stream.add_argument("--vertices", type=int, default=200,
+                        help="synthetic base-graph vertices (default 200)")
+    stream.add_argument("--edges", type=int, default=800,
+                        help="synthetic base-graph edges (default 800)")
+    stream.add_argument("--updates", type=int, default=2000,
+                        help="synthetic update count (default 2000)")
+    stream.add_argument("--delete-fraction", type=float, default=0.25,
+                        help="synthetic delete share (default 0.25)")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="synthetic stream seed (default 0)")
+    stream.add_argument("--k", type=int, default=None,
+                        help="staleness bound: flush after K pending "
+                             "updates (default: engine/mix defaults)")
+    stream.add_argument("--mix", action="append",
+                        choices=("update-heavy", "read-heavy"),
+                        help="throughput mix to bench (repeatable; "
+                             "default: both)")
+    stream.add_argument("--json", action="store_true",
+                        help="print everything as JSON")
+
     cache = sub.add_parser("cache",
                            help="inspect or maintain the persistent run "
                                 "cache (see docs/robustness.md)")
@@ -616,6 +745,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": cmd_metrics,
         "verify": cmd_verify,
         "optimize": cmd_optimize,
+        "stream": cmd_stream,
     }
     try:
         return handlers[args.command](args)

@@ -117,8 +117,32 @@ def generate_requests(
 DEFAULT_CHUNK = 4096
 
 
+def _assert_same_store_state(batched, serial) -> None:
+    """Raise :class:`DynamicGraphError` unless two stores hold the same
+    logical state (vertex count, validity, edge multiset)."""
+    if batched.num_vertices != serial.num_vertices:
+        raise DynamicGraphError(
+            f"batched/serial divergence: {batched.num_vertices} vs "
+            f"{serial.num_vertices} vertices"
+        )
+    if batched.invalid_vertices() != serial.invalid_vertices():
+        raise DynamicGraphError(
+            "batched/serial divergence in vertex validity"
+        )
+    gb = batched.to_graph(name="batched")
+    gs = serial.to_graph(name="serial")
+    kb = np.sort((gb.src.astype(np.int64) << 32) | gb.dst)
+    ks = np.sort((gs.src.astype(np.int64) << 32) | gs.dst)
+    if not np.array_equal(kb, ks):
+        raise DynamicGraphError(
+            f"batched/serial divergence in edge multiset "
+            f"({kb.size} vs {ks.size} edges)"
+        )
+
+
 def apply_requests_batched(
-    store, requests: list[Request], chunk_size: int = DEFAULT_CHUNK
+    store, requests: list[Request], chunk_size: int = DEFAULT_CHUNK,
+    verify: bool = False,
 ) -> int:
     """Replay a request stream in vectorized chunks; returns changed
     edges.
@@ -135,9 +159,21 @@ def apply_requests_batched(
     differ (interleaving determines when slack runs out).
 
     Strict like the serial path: a request the store rejects raises.
+
+    ``verify=True`` is a debug flag closing the latent batch/stream
+    divergence risk: the same stream is also replayed serially against
+    a deep copy of the starting store, and the final logical states
+    (vertex count, validity, edge multiset) are asserted identical —
+    raising :class:`DynamicGraphError` on any divergence instead of
+    relying on test-only spot checks.
     """
     if chunk_size <= 0:
         raise DynamicGraphError(f"chunk size must be positive: {chunk_size}")
+    shadow = None
+    if verify:
+        import copy
+
+        shadow = copy.deepcopy(store)
     before = store.stats.edges_changed
     for base in range(0, len(requests), chunk_size):
         chunk = requests[base:base + chunk_size]
@@ -166,6 +202,9 @@ def apply_requests_batched(
             store.delete_edges(np.asarray(del_src), np.asarray(del_dst))
         if del_vs:
             store.delete_vertices(np.asarray(del_vs))
+    if shadow is not None:
+        apply_requests(shadow, requests)
+        _assert_same_store_state(store, shadow)
     return store.stats.edges_changed - before
 
 

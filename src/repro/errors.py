@@ -59,6 +59,14 @@ class StoreError(ReproError):
     a request — unopenable database, schema mismatch, invalid budget."""
 
 
+class StreamError(ReproError):
+    """Invalid streaming-update usage — a malformed ``hyve-updates-v1``
+    log (bad schema tag, non-monotonic timestamps, out-of-range vertex
+    ids), a delete with no matching open edge, or a query for an
+    algorithm the stream engine was not asked to maintain (see
+    :mod:`repro.dynamic.stream`)."""
+
+
 class ChaosError(ReproError):
     """Invalid infrastructure-chaos configuration (rates outside [0, 1],
     unknown profile name; see :mod:`repro.faults.chaos`)."""

@@ -12,6 +12,7 @@ from . import (
     outofcore,
     resilience,
     sensitivity,
+    temporal,
     fig09,
     fig10,
     fig11,
@@ -69,6 +70,7 @@ ALL_EXPERIMENTS = {
     "sensitivity": sensitivity.run,
     "resilience": resilience.run,
     "outofcore": outofcore.run,
+    "temporal": temporal.run,
 }
 
 

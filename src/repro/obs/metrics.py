@@ -86,6 +86,15 @@ SWEEP_POOL_RESPAWNS = "sweep_pool_respawns"
 SWEEP_SERIAL_FALLBACKS = "sweep_serial_fallbacks"
 #: Infrastructure faults injected by the chaos layer (all kinds).
 CHAOS_INJECTIONS = "chaos_injections"
+#: Streaming updates applied to a stream engine's edge state
+#: (add/del events accepted by :meth:`StreamEngine.ingest`).
+UPDATES_APPLIED = "updates_applied"
+#: Temporal snapshots materialised as concrete :class:`Graph` objects
+#: (``TemporalGraph.snapshot_at`` / ``StreamEngine.snapshot``).
+SNAPSHOTS_MATERIALIZED = "snapshots_materialized"
+#: Stream-engine value refreshes forced by the bounded-staleness
+#: contract (pending updates reached K, or a query arrived).
+STALENESS_FLUSHES = "staleness_flushes"
 #: Differential-conformance oracle evaluations executed (repro verify).
 VERIFY_ORACLE_RUNS = "verify_oracle_runs"
 #: Oracle evaluations that found a cross-path mismatch.

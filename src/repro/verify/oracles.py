@@ -19,7 +19,13 @@ promise identical results disagree.  Three families are registered:
 * *infrastructure-chaos recovery* — runs against a result store under
   injected torn writes, bit flips and stale locks
   (:mod:`repro.faults.chaos`) must recover to bit-identical reports,
-  and an all-zero chaos profile must be an exact pass-through.
+  and an all-zero chaos profile must be an exact pass-through;
+* *streaming conformance* — a :class:`repro.dynamic.stream.StreamEngine`
+  replaying a seeded update log must match a from-scratch rebuild of
+  the same log prefix at every queried instant
+  (``stream-rebuild-identity``), and permuting a log within
+  commutative batches must leave every snapshot fingerprint and
+  maintained value unchanged (``window-invariance``).
 
 The equality policy is deliberately the strictest one the codebase
 already commits to elsewhere; an oracle failure is a broken promise,
@@ -639,3 +645,184 @@ def tuner_identity(case: Case) -> None:
             point.report, reports[point.index],
             f"frontier point {point.label!r}",
         )
+
+
+# --- streaming / temporal oracles ---------------------------------------------
+
+#: The incremental-vs-rebuild battery's equality policy: BFS and CC are
+#: min-based (bit-exact everywhere), PR is sum-based and the engine
+#: rebuilds it from the canonical snapshot, so 1e-12 relative is the
+#: same promise tests/test_blocked_identity.py already makes.
+STREAM_ALGORITHMS = ("pr", "cc", "bfs")
+
+
+def _stream_log(case: Case):
+    """Derive a deterministic update log + engine knobs from a case.
+
+    The case seed picks the delete fraction (0.0-0.4), the staleness
+    bound ``k`` (1-37, so eager K=1 engines and lazy ones both appear),
+    and the stream length — everything an oracle replay needs.
+    """
+    from ..dynamic.stream import generate_update_log
+
+    graph = case.graph()
+    delete_fraction = ((case.seed // 7) % 5) / 10
+    k = 1 + case.seed % 37
+    num_updates = 60 + case.seed % 64
+    log = generate_update_log(graph, num_updates, seed=case.seed,
+                              delete_fraction=delete_fraction)
+    return graph, log, k
+
+
+def _stream_values_match(name: str, engine_values: np.ndarray,
+                         rebuilt_values: np.ndarray, where: str) -> None:
+    if name in EXACT_ALGORITHMS:
+        if not np.array_equal(engine_values, rebuilt_values):
+            bad = int(np.flatnonzero(engine_values != rebuilt_values)[0])
+            fail(f"{where}: incremental {name} diverged from rebuild at "
+                 f"vertex {bad}: {engine_values[bad]!r} != "
+                 f"{rebuilt_values[bad]!r}")
+    elif not np.allclose(engine_values, rebuilt_values,
+                         rtol=SUM_RTOL, atol=SUM_ATOL):
+        worst = float(np.max(np.abs(engine_values - rebuilt_values)))
+        fail(f"{where}: {name} diverged from rebuild "
+             f"(max abs diff {worst:g} > {SUM_ATOL:g})")
+
+
+@oracle(
+    "stream-rebuild-identity",
+    "incrementally maintained stream values == from-scratch rebuild at "
+    "the same logical time, at every prefix; snapshot fingerprints key "
+    "the run cache",
+)
+def stream_rebuild_identity(case: Case) -> None:
+    """The bounded-staleness engine's correctness anchor.
+
+    Replays a seeded log through a :class:`StreamEngine` in several
+    prefix steps.  After each step the engine — whose BFS/CC values
+    are maintained *incrementally* (delta gates, orphan repair,
+    component re-seeding) — is compared against a from-scratch rebuild
+    of the **same log prefix**: the temporal snapshot at the engine's
+    logical time must have a bit-identical fingerprint, and every
+    maintained value vector must match the vectorized run on that
+    snapshot (bit-exact for the min-based algorithms, 1e-12 for PR).
+    Finally the rebuilt snapshot is priced through the run cache to
+    prove the fingerprint identity is *useful*: the engine's
+    query-time flush already populated the cache, so the rebuild's
+    lookup must be a memory hit, never a recompute.
+    """
+    from ..algorithms import make_algorithm
+    from ..dynamic.stream import StreamEngine, UpdateLog
+
+    graph, log, k = _stream_log(case)
+    events = log.to_arrays()
+    base = int(np.count_nonzero(events[:, 0] == 0))
+    prefixes = sorted({base, base + (len(log) - base) // 2, len(log)})
+    algs = {name: make_algorithm(name) for name in STREAM_ALGORITHMS}
+
+    with temporary_run_cache("") as cache:
+        engine = StreamEngine(log.num_vertices,
+                              algorithms=STREAM_ALGORITHMS, k=k,
+                              name=log.name)
+        done = 0
+        for prefix in prefixes:
+            engine.ingest(events[done:prefix])
+            done = prefix
+            t = engine.logical_time
+            where = f"prefix {prefix}/{len(log)} (t={t}, k={k})"
+            rebuilt_log = UpdateLog.from_arrays(
+                log.num_vertices, events[:prefix], name=log.name)
+            snapshot = rebuilt_log.temporal().snapshot_at(t)
+            for name in STREAM_ALGORITHMS:
+                _stream_values_match(
+                    name, engine.query(name),
+                    run_vectorized(algs[name], snapshot).values, where)
+            if engine.snapshot(t).fingerprint() != snapshot.fingerprint():
+                fail(f"{where}: engine snapshot fingerprint diverged "
+                     f"from the log-prefix rebuild")
+        # Price the engine's live snapshot once (a query-time flush
+        # does the same when updates are pending); rebuilding the same
+        # instant from the raw log must then *hit* the cache under the
+        # identical fingerprint, never recompute.
+        run_cached(algs["pr"], engine.snapshot(t))
+        hits_before = cache.stats.memory_hits
+        run_cached(algs["pr"], snapshot)
+        if cache.stats.memory_hits <= hits_before:
+            fail("rebuilt snapshot missed the run cache: snapshot_at() "
+                 "fingerprints do not key the engine's cached runs")
+
+
+@oracle(
+    "window-invariance",
+    "permuting a log within commutative batches leaves every snapshot "
+    "fingerprint and maintained value unchanged",
+)
+def window_invariance(case: Case) -> None:
+    """Order within a logical batch must not be observable.
+
+    Events sharing a timestamp form one batch; inside a batch, events
+    on *distinct* edges commute (same-key events keep their FIFO
+    order).  The oracle re-batches a seeded log into multi-event
+    windows, applies a seeded commutative permutation inside every
+    batch, and demands the permuted replay be indistinguishable from
+    the original: identical snapshot fingerprints at every batch
+    boundary, and identical maintained values from engines fed either
+    log.  Any divergence means replay order leaks into state that the
+    format promises is a pure function of the log's batch contents.
+    """
+    from ..dynamic.stream import StreamEngine, UpdateLog
+
+    graph, log, k = _stream_log(case)
+    events = log.to_arrays()
+    # Re-batch: keep the t=0 base batch, then group the singleton
+    # events into windows of `width` sharing one timestamp.
+    width = 4 + case.seed % 8
+    events = events.copy()
+    tail = events[:, 0] > 0
+    events[tail, 0] = 1 + (events[tail, 0] - 1) // width
+    original = UpdateLog.from_arrays(log.num_vertices, events,
+                                     name=log.name)
+
+    # Commutative permutation: within each batch, stable-sort by a
+    # seeded priority drawn *per distinct key*, so events on the same
+    # edge keep their relative (FIFO) order.
+    rng = np.random.default_rng(case.seed + 1)
+    permuted = events.copy()
+    keys = (events[:, 2] << 32) | events[:, 3]
+    for t in np.unique(events[:, 0]):
+        rows = np.flatnonzero(events[:, 0] == t)
+        _, inverse = np.unique(keys[rows], return_inverse=True)
+        priority = rng.random(int(inverse.max()) + 1)
+        permuted[rows] = events[rows][np.argsort(priority[inverse],
+                                                 kind="stable")]
+    shuffled = UpdateLog.from_arrays(log.num_vertices, permuted,
+                                     name=log.name)
+
+    boundaries = np.unique(events[:, 0])
+    temporal_a = original.temporal()
+    temporal_b = shuffled.temporal()
+    for t in boundaries.tolist():
+        fp_a = temporal_a.snapshot_at(t).fingerprint()
+        fp_b = temporal_b.snapshot_at(t).fingerprint()
+        if fp_a != fp_b:
+            fail(f"snapshot at t={t} depends on intra-batch order: "
+                 f"{fp_a} != {fp_b}")
+
+    with temporary_run_cache(""):
+        engine_a = StreamEngine(log.num_vertices,
+                                algorithms=STREAM_ALGORITHMS, k=k,
+                                name=log.name)
+        engine_b = StreamEngine(log.num_vertices,
+                                algorithms=STREAM_ALGORITHMS, k=k,
+                                name=log.name)
+        engine_a.replay(original)
+        engine_b.replay(shuffled)
+        for name in STREAM_ALGORITHMS:
+            _stream_values_match(name, engine_a.query(name),
+                                 engine_b.query(name),
+                                 f"engine replay (k={k})")
+        fp_a = engine_a.snapshot().fingerprint()
+        fp_b = engine_b.snapshot().fingerprint()
+        if fp_a != fp_b:
+            fail(f"live engine snapshots diverged under a commutative "
+                 f"permutation: {fp_a} != {fp_b}")

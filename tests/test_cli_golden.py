@@ -1,12 +1,14 @@
 """Golden-file tests for CLI text output.
 
-The exact text of ``repro cache info``, ``repro metrics`` and the
-``repro trace`` attribution table is part of the user interface (people
-grep it, docs quote it), so it is pinned against committed golden files
-in tests/golden/.  Volatile fragments are normalised before comparison:
-the cache directory path (a tmp dir here), the trace output path, and
-the ``imbalance_cache_size`` gauge (a process-global LRU whose size
-depends on what ran earlier in the session).
+The exact text of ``repro cache info``, ``repro metrics``, ``repro
+stream`` and the ``repro trace`` attribution table is part of the user
+interface (people grep it, docs quote it), so it is pinned against
+committed golden files in tests/golden/.  Volatile fragments are
+normalised before comparison: the cache directory path (a tmp dir
+here), the trace output path, the ``imbalance_cache_size`` gauge (a
+process-global LRU whose size depends on what ran earlier in the
+session), and the ``repro stream`` throughput numbers (wall-clock; the
+staleness table around them is deterministic).
 
 To regenerate after an intentional output change::
 
@@ -48,6 +50,8 @@ def _normalize(text: str) -> str:
                   r"[trace written to <TRACE_FILE> (\1 records)]", text)
     text = re.sub(r"(imbalance_cache_size\s+gauge\s+)\d+", r"\g<1><N>",
                   text)
+    text = re.sub(r"[\d,]+ updates/s \([\d.]+x vs serial",
+                  "<RATE> updates/s (<X>x vs serial", text)
     return text
 
 
@@ -82,6 +86,13 @@ def test_metrics_golden(capsys, fresh_imbalance_memo):
         assert main(["metrics", "--dataset", "YT", "--algorithm",
                      "pr"]) == 0
     _check_golden("metrics-pr-yt.txt", capsys.readouterr().out)
+
+
+@pytest.mark.golden
+def test_stream_golden(capsys):
+    log = Path(__file__).parent / "data" / "tiny-updates.jsonl"
+    assert main(["stream", "--log", str(log), "--k", "8"]) == 0
+    _check_golden("stream-tiny.txt", capsys.readouterr().out)
 
 
 @pytest.mark.golden

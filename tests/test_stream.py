@@ -1,0 +1,322 @@
+"""Unit tests for the streaming dynamic-graph engine (ISSUE 10).
+
+The incremental-vs-rebuild conformance battery proper lives in the
+``stream-rebuild-identity`` / ``window-invariance`` oracles
+(repro/verify/oracles.py) and tests/test_temporal_properties.py; this
+module pins the concrete contracts piece by piece: log validation and
+round trips, FIFO temporal semantics, the bounded-staleness flush
+rule, snapshot canonicalisation, and the time-sliced energy fold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.runner import run_vectorized
+from repro.arch.machine import fold_time_slices, make_machine
+from repro.dynamic import (
+    DEFAULT_STALENESS_K,
+    MAINTAINED_ALGORITHMS,
+    OPEN_END,
+    READ_HEAVY,
+    StreamEngine,
+    TemporalEdge,
+    TemporalGraph,
+    UPDATE_HEAVY,
+    UpdateLog,
+    generate_update_log,
+    measure_stream,
+)
+from repro.errors import ConfigError, StreamError
+from repro.graph import rmat
+from repro.perf.cache import temporary_run_cache
+
+from .conftest import seeded_rng
+
+
+class TestUpdateLog:
+    def test_append_and_replay_state(self):
+        log = UpdateLog(4, name="t")
+        log.append("add", 0, 1)
+        log.append("add", 0, 1)
+        log.append("del", 0, 1)
+        assert len(log) == 3
+        assert log.open_edges == 1
+        assert [u.t for u in log] == [0, 1, 2]
+
+    def test_rejects_bad_inputs(self):
+        log = UpdateLog(4)
+        with pytest.raises(StreamError):
+            log.append("upsert", 0, 1)
+        with pytest.raises(StreamError):
+            log.append("add", 0, 4)
+        with pytest.raises(StreamError):
+            log.append("del", 0, 1)  # nothing open
+        log.append("add", 0, 1, t=5)
+        with pytest.raises(StreamError):
+            log.append("add", 1, 2, t=4)  # non-monotonic
+
+    def test_dedupe_suppresses_open_duplicates(self):
+        log = UpdateLog(4)
+        assert log.append("add", 0, 1, dedupe=True)
+        assert not log.append("add", 0, 1, dedupe=True)
+        log.append("del", 0, 1)
+        assert log.append("add", 0, 1, dedupe=True)  # closed => re-insert
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        base = rmat(16, 48, seed=2, name="rt")
+        log = generate_update_log(base, 40, seed=2, name="roundtrip")
+        path = log.save(tmp_path / "log.jsonl")
+        loaded = UpdateLog.load(path)
+        assert loaded.name == log.name
+        assert loaded.num_vertices == log.num_vertices
+        assert np.array_equal(loaded.to_arrays(), log.to_arrays())
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "something-else"}\n')
+        with pytest.raises(StreamError):
+            UpdateLog.load(path)
+
+    def test_extend_arrays_matches_serial_appends(self):
+        base = rmat(24, 96, seed=3, name="bulk")
+        log = generate_update_log(base, 120, seed=3, delete_fraction=0.4)
+        events = log.to_arrays()
+        serial = UpdateLog(24, name="serial")
+        for t, op, s, d in events.tolist():
+            serial.append("add" if op == 0 else "del", s, d, t=t)
+        bulk = UpdateLog(24, name="bulk")
+        for lo in range(0, len(events), 17):
+            bulk.extend_arrays(events[lo:lo + 17])
+        assert np.array_equal(serial.to_arrays(), bulk.to_arrays())
+        assert serial.open_edges == bulk.open_edges
+
+    def test_extend_arrays_delete_then_reinsert_same_key(self):
+        log = UpdateLog(4)
+        events = np.array(
+            [[0, 0, 1, 2], [1, 1, 1, 2], [2, 0, 1, 2], [3, 1, 1, 2],
+             [4, 0, 1, 2]],
+            dtype=np.int64,
+        )
+        assert log.extend_arrays(events) == 5
+        assert log.open_edges == 1
+
+    def test_extend_arrays_rejects_unmatched_delete(self):
+        log = UpdateLog(4)
+        log.append("add", 1, 2)
+        events = np.array([[1, 1, 1, 2], [2, 1, 1, 2]], dtype=np.int64)
+        with pytest.raises(StreamError, match="no matching open edge"):
+            log.extend_arrays(events)
+        # The rejected block must not have been partially applied.
+        assert len(log) == 1
+
+
+class TestTemporalGraph:
+    def test_fifo_delete_closes_oldest(self):
+        log = UpdateLog(4)
+        log.append("add", 1, 2, t=0)
+        log.append("add", 1, 2, t=5)
+        log.append("del", 1, 2, t=7)
+        temporal = log.temporal()
+        intervals = sorted(
+            zip(temporal.start.tolist(), temporal.end.tolist())
+        )
+        assert intervals == [(0, 7), (5, OPEN_END)]
+
+    def test_zero_width_interval_is_invisible(self):
+        log = UpdateLog(4)
+        log.append("add", 1, 2, t=3)
+        log.append("del", 1, 2, t=3)
+        temporal = log.temporal()
+        assert temporal.num_intervals == 0
+        assert temporal.snapshot_at(3).num_edges == 0
+
+    def test_snapshot_is_memoised_and_canonical(self):
+        base = rmat(16, 64, seed=4, name="canon")
+        log = generate_update_log(base, 50, seed=4)
+        temporal = log.temporal()
+        t = int(log.last_time)
+        assert temporal.snapshot_at(t) is temporal.snapshot_at(t)
+        again = UpdateLog.from_arrays(
+            log.num_vertices, log.to_arrays(), name=log.name
+        ).temporal()
+        assert temporal.snapshot_at(t).fingerprint() \
+            == again.snapshot_at(t).fingerprint()
+
+    def test_rejects_empty_intervals(self):
+        with pytest.raises(StreamError, match="empty"):
+            TemporalGraph.from_intervals(4, [(0, 1, 5, 5)])
+
+    def test_alive_at_and_active_count(self):
+        edge = TemporalEdge(0, 1, start=2, end=6)
+        assert not edge.alive_at(1)
+        assert edge.alive_at(2)
+        assert not edge.alive_at(6)
+        temporal = TemporalGraph.from_intervals(
+            4, [(0, 1, 0, 4), (1, 2, 2, OPEN_END)]
+        )
+        assert temporal.active_count_at(0) == 1
+        assert temporal.active_count_at(3) == 2
+        assert temporal.active_count_at(5) == 1
+        assert temporal.event_times().tolist() == [0, 2, 4]
+
+
+class TestStreamEngine:
+    def test_staleness_contract_bounds_pending(self):
+        base = rmat(32, 128, seed=5, name="k")
+        log = generate_update_log(base, 200, seed=5)
+        engine = StreamEngine(32, k=16, name=log.name)
+        engine.replay(log)
+        assert engine.pending < 16
+        assert engine.stats.max_pending_at_flush <= 16
+
+    def test_query_answers_at_current_time(self):
+        base = rmat(32, 128, seed=6, name="q")
+        engine = StreamEngine.from_graph(base)
+        assert engine.k == DEFAULT_STALENESS_K
+        engine.ingest([("add", 1, 2), ("add", 2, 3)])
+        values = engine.query("cc")
+        assert engine.values_time == engine.logical_time
+        assert engine.pending == 0
+        rebuilt = run_vectorized(make_algorithm("cc"),
+                                 engine.snapshot()).values
+        assert np.array_equal(values, rebuilt)
+
+    def test_k1_is_eager_exact_maintenance(self):
+        base = rmat(24, 96, seed=7, name="eager")
+        log = generate_update_log(base, 60, seed=7, delete_fraction=0.3)
+        events = log.to_arrays()
+        engine = StreamEngine(24, k=1, name=log.name)
+        for row in events:
+            engine.ingest(row.reshape(1, 4))
+            # K=1: every event flushes, so values never lag the log.
+            assert engine.pending == 0
+            assert engine.values_time == engine.logical_time
+        for name in MAINTAINED_ALGORITHMS:
+            rebuilt = run_vectorized(make_algorithm(name),
+                                     engine.snapshot()).values
+            got = engine.query(name)
+            if name == "pr":
+                np.testing.assert_allclose(got, rebuilt, rtol=1e-12,
+                                           atol=1e-12)
+            else:
+                assert np.array_equal(got, rebuilt)
+
+    def test_incremental_matches_rebuild_across_k(self):
+        base = rmat(48, 192, seed=8, name="battery")
+        log = generate_update_log(base, 150, seed=8, delete_fraction=0.35)
+        events = log.to_arrays()
+        for k in (1, 7, 64):
+            engine = StreamEngine(48, k=k, name=log.name)
+            done = 0
+            for prefix in (len(events) // 3, 2 * len(events) // 3,
+                           len(events)):
+                engine.ingest(events[done:prefix])
+                done = prefix
+                snapshot = engine.snapshot()
+                for name in ("cc", "bfs"):
+                    rebuilt = run_vectorized(make_algorithm(name),
+                                             snapshot).values
+                    assert np.array_equal(engine.query(name), rebuilt), \
+                        f"{name} diverged at prefix {prefix} with k={k}"
+
+    def test_historical_snapshot_matches_live_fingerprint(self):
+        base = rmat(16, 64, seed=9, name="hist")
+        log = generate_update_log(base, 40, seed=9)
+        engine = StreamEngine(16, name=log.name)
+        engine.replay(log)
+        now = engine.logical_time
+        live = engine.snapshot()
+        historical = engine.snapshot(now)
+        assert live.fingerprint() == historical.fingerprint() \
+            or np.array_equal(live.src, historical.src)
+        past = engine.snapshot(now // 2)
+        rebuilt = UpdateLog.from_arrays(
+            16, log.to_arrays(), name=log.name
+        ).temporal().snapshot_at(now // 2)
+        assert past.fingerprint() == rebuilt.fingerprint()
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(StreamError):
+            StreamEngine(8, k=0)
+        with pytest.raises(StreamError):
+            StreamEngine(8, algorithms=("pr", "sssp"))
+        engine = StreamEngine(8)
+        with pytest.raises(StreamError):
+            engine.query("sssp")
+
+    def test_counters_and_stats_move(self):
+        from repro.obs.metrics import (MetricsRegistry, STALENESS_FLUSHES,
+                                       UPDATES_APPLIED, get_metrics,
+                                       set_metrics)
+
+        set_metrics(MetricsRegistry())
+        try:
+            base = rmat(16, 64, seed=10, name="obs")
+            engine = StreamEngine.from_graph(base, k=8)
+            engine.query("cc")
+            snap = get_metrics().snapshot()
+            assert snap[UPDATES_APPLIED]["value"] == base.num_edges
+            assert snap[STALENESS_FLUSHES]["value"] \
+                == engine.stats.flushes
+            assert engine.stats.queries == 1
+        finally:
+            set_metrics(None)
+
+
+class TestMeasureStream:
+    def test_mixes_run_and_cross_check(self):
+        base = rmat(48, 192, seed=12, name="bench")
+        log = generate_update_log(base, 300, seed=12, delete_fraction=0.2)
+        for mix in (UPDATE_HEAVY, READ_HEAVY):
+            result = measure_stream(log, mix)
+            assert result.mix == mix.name
+            assert result.num_updates == len(log)
+            assert result.num_queries > 0
+            assert result.updates_per_second > 0
+            assert result.engine_seconds > 0
+            assert result.serial_seconds > 0
+
+
+class TestFoldTimeSlices:
+    @pytest.fixture
+    def reports(self):
+        machine = make_machine("acc+HyVE")
+        g1 = rmat(32, 128, seed=13, name="slice-a")
+        g2 = rmat(32, 128, seed=14, name="slice-b")
+        algorithm = make_algorithm("pr")
+        with temporary_run_cache(""):
+            return (machine.run(algorithm, g1).report,
+                    machine.run(algorithm, g2).report)
+
+    def test_width_weighted_aggregation(self, reports):
+        r1, r2 = reports
+        folded = fold_time_slices([(0, 3, r1), (3, 5, r2)])
+        assert folded.algorithm == r1.algorithm
+        assert folded.machine == r1.machine
+        assert folded.iterations == 3 * r1.iterations + 2 * r2.iterations
+        np.testing.assert_allclose(
+            folded.total_energy,
+            3 * r1.total_energy + 2 * r2.total_energy, rtol=1e-12)
+        np.testing.assert_allclose(
+            folded.time, 3 * r1.time + 2 * r2.time, rtol=1e-12)
+
+    def test_rejects_bad_slices(self, reports):
+        r1, _ = reports
+        with pytest.raises(ConfigError):
+            fold_time_slices([])
+        with pytest.raises(ConfigError):
+            fold_time_slices([(2, 2, r1)])
+        with pytest.raises(ConfigError):
+            fold_time_slices([(0, 3, r1), (2, 5, r1)])
+
+    def test_rejects_mixed_algorithms(self, reports):
+        r1, _ = reports
+        machine = make_machine("acc+HyVE")
+        with temporary_run_cache(""):
+            other = machine.run(make_algorithm("bfs"),
+                                rmat(32, 128, seed=13, name="slice-a")).report
+        with pytest.raises(ConfigError):
+            fold_time_slices([(0, 2, r1), (2, 4, other)])

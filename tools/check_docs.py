@@ -34,6 +34,7 @@ DOCTEST_FILES = (
     "docs/autotuning.md",
     "docs/observability.md",
     "docs/scaling.md",
+    "docs/streaming.md",
 )
 
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
